@@ -1,0 +1,155 @@
+// Command massf runs one distributed network emulation: it builds a
+// topology, generates the background and foreground traffic of the paper's
+// evaluation, maps the virtual network onto simulation engines with the
+// chosen approach (TOP, PLACE, or PROFILE), and reports the paper's three
+// metrics — load imbalance, application emulation time, and isolated network
+// emulation (replay) time.
+//
+// Usage:
+//
+//	massf -topology TeraGrid -app ScaLapack -approach PROFILE -duration 120
+//
+// Topologies: Campus, TeraGrid, Brite, Brite-large. Apps: ScaLapack,
+// GridNPB, none. Approaches: TOP, PLACE, PROFILE, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/netdesc"
+	"repro/internal/traffic"
+)
+
+func main() {
+	var (
+		topology = flag.String("topology", "Campus", "Campus | TeraGrid | Brite | Brite-large")
+		netfile  = flag.String("netfile", "", "load the topology from a network description file instead")
+		engines  = flag.Int("engines", 0, "engine count override (required with -netfile)")
+		export   = flag.String("export", "", "write the topology as a network description file and exit")
+		app      = flag.String("app", "ScaLapack", "ScaLapack | GridNPB")
+		approach = flag.String("approach", "all", "TOP | PLACE | PROFILE | all")
+		duration = flag.Float64("duration", 120, "virtual duration in seconds")
+		seed     = flag.Int64("seed", 42, "seed for generators and partitioner")
+		seq      = flag.Bool("sequential", false, "run the DES kernel single-threaded")
+		verbose  = flag.Bool("v", false, "print per-engine loads")
+		stats    = flag.Bool("stats", false, "print topology statistics and exit")
+		record   = flag.String("record", "", "write the generated workload trace to this file")
+		replay   = flag.String("trace", "", "emulate a previously recorded workload trace instead of generating traffic")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Duration: *duration, Seed: *seed, Sequential: *seq}
+	sc, err := experiments.ScenarioFor(cfg, *topology, *app)
+	if err != nil {
+		fatal(err)
+	}
+	if *netfile != "" {
+		f, err := os.Open(*netfile)
+		if err != nil {
+			fatal(err)
+		}
+		nw, err := netdesc.Read(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		if *engines <= 0 {
+			fatal(fmt.Errorf("-netfile requires -engines"))
+		}
+		sc.Network = nw
+		sc.Engines = *engines
+		sc.Name = fmt.Sprintf("%s/%s", nw.Name, *app)
+	}
+	if *stats {
+		fmt.Printf("%s topology statistics:\n%s", sc.Network.Name, sc.Network.ComputeStats())
+		return
+	}
+	if *export != "" {
+		f, err := os.Create(*export)
+		if err != nil {
+			fatal(err)
+		}
+		if err := netdesc.Write(f, sc.Network); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s (%d nodes, %d links)\n", *export, sc.Network.NumNodes(), len(sc.Network.Links))
+		return
+	}
+
+	var approaches []mapping.Approach
+	if *approach == "all" {
+		approaches = mapping.Approaches()
+	} else {
+		approaches = []mapping.Approach{mapping.Approach(*approach)}
+	}
+
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := traffic.ReadWorkload(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		sc.SetWorkload(tr)
+	}
+	w, err := sc.Workload()
+	if err != nil {
+		fatal(err)
+	}
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fatal(err)
+		}
+		if err := traffic.WriteWorkload(f, &w); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "recorded %d flows to %s\n", len(w.Flows), *record)
+	}
+	fmt.Printf("%s: %d nodes (%d routers, %d hosts), %d engines, %d flows, %.1f MB\n",
+		sc.Name, sc.Network.NumNodes(), sc.Network.NumRouters(), sc.Network.NumHosts(),
+		sc.Engines, len(w.Flows), float64(w.TotalBytes())/1e6)
+
+	fmt.Printf("%-8s %10s %12s %12s %10s %9s %10s %9s\n",
+		"approach", "imbalance", "app-time(s)", "net-time(s)", "lookahead", "windows", "remote-ev", "wall")
+	for _, a := range approaches {
+		start := time.Now()
+		o, err := sc.Run(a)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", a, err))
+		}
+		r := o.Result
+		fmt.Printf("%-8s %10.3f %12.1f %12.1f %9.2gms %9d %10d %9s\n",
+			a, r.Imbalance, r.AppTime, r.NetTime, r.Lookahead*1e3,
+			r.Kernel.Windows, r.RemoteEvents, time.Since(start).Round(time.Millisecond))
+		if *verbose {
+			fmt.Printf("         engine loads: %v (max/mean %.2f)\n",
+				r.EngineLoads, metrics.MaxOverMean(r.EngineLoads))
+			completed, fctMean, fctP95 := r.FCTStats()
+			fmt.Printf("         flows completed: %d/%d  fct mean=%.3gs p95=%.3gs  drops=%d\n",
+				completed, len(r.FlowFCTs), fctMean, fctP95, r.DroppedPackets)
+			q := mapping.Assess(sc.Network, o.Assignment, sc.Engines, nil)
+			fmt.Printf("         %s", q.String())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "massf:", err)
+	os.Exit(1)
+}

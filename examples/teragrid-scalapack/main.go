@@ -1,0 +1,69 @@
+// The paper's flagship study: emulate a live ScaLapack run (10 MPI
+// processes solving a 3000×3000 system) on the 2003 TeraGrid, with HTTP
+// background traffic, across the three mapping approaches — the scenario
+// behind Figures 4, 6 and 9.
+//
+//	go run ./examples/teragrid-scalapack
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/metrics"
+)
+
+func main() {
+	const duration = 60.0 // virtual seconds (the paper ran ~600)
+
+	network := repro.TeraGrid()
+
+	app := repro.DefaultScaLapack()
+	app.Duration = duration
+	app.ScaleBytes = 70 * duration / 600 // keep the paper's traffic rate
+
+	scenario := &repro.Scenario{
+		Name:       "teragrid-scalapack",
+		Network:    network,
+		Engines:    5, // Table 1: TeraGrid uses 5 simulation engines
+		Background: repro.DefaultHTTP(duration, 7),
+		App:        app,
+		AppSeed:    1,
+		Cluster:    true, // PROFILE may split the timeline into segments
+	}
+
+	// The application's injection points: 10 hosts spread across the five
+	// TeraGrid sites.
+	hosts := repro.SpreadHosts(network, app.Hosts())
+	fmt.Print("ScaLapack injection points:")
+	for _, h := range hosts {
+		fmt.Printf(" %s", network.Nodes[h].Name)
+	}
+	fmt.Println()
+
+	var baseline float64
+	for _, approach := range repro.Approaches() {
+		out, err := scenario.Run(approach)
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := out.Result
+		line := fmt.Sprintf("%-8s imbalance=%.3f app-time=%.1fs replay=%.1fs engines=%v",
+			approach, r.Imbalance, r.AppTime, r.NetTime, compact(r.EngineLoads))
+		if approach == repro.Top {
+			baseline = r.Imbalance
+		} else {
+			line += fmt.Sprintf("  (imbalance %+.0f%% vs TOP)", -100*metrics.Improvement(baseline, r.Imbalance))
+		}
+		fmt.Println(line)
+	}
+}
+
+func compact(loads []float64) []int64 {
+	out := make([]int64, len(loads))
+	for i, l := range loads {
+		out[i] = int64(l)
+	}
+	return out
+}

@@ -1,0 +1,303 @@
+// Package core orchestrates the paper's full network-mapping pipeline
+// (Figure 1): take a virtual network plus traffic information, build the
+// partitioning problem for the chosen approach, run the multilevel
+// partitioner, and execute the distributed emulation on the resulting
+// assignment — including the PROFILE approach's two-phase flow, where an
+// initial TOP-partitioned profiling run collects NetFlow data that drives a
+// repartition.
+//
+// It is the public face the command-line tools, examples, and the experiment
+// harness share.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/emu"
+	"repro/internal/mapping"
+	"repro/internal/netgraph"
+	"repro/internal/partition"
+	"repro/internal/traffic"
+)
+
+// Scenario is one emulation study: a topology, an engine count, a background
+// traffic condition, and an optional foreground application.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Network is the virtual topology. Required.
+	Network *netgraph.Network
+	// Engines is the number of simulation-engine nodes. Required.
+	Engines int
+
+	// Background, when non-nil, adds background traffic (the paper's HTTP
+	// model or any other traffic.Background such as CBR or on/off).
+	Background traffic.Background
+
+	// App, when non-nil, adds a foreground application on AppHosts (chosen
+	// automatically when empty: hosts spread evenly across the network).
+	App apps.App
+	// AppSeed drives the application's traffic generation.
+	AppSeed int64
+	// AppHosts overrides the automatic injection-point choice.
+	AppHosts []int
+
+	// PartSeed seeds the partitioner.
+	PartSeed int64
+	// LatencyPriority is the multi-objective p (default 6:4).
+	LatencyPriority float64
+	// Cluster enables §3.3 timeline clustering in the PROFILE approach.
+	Cluster bool
+	// EmulatedTraceroute makes PLACE discover its routes by running real
+	// ICMP traceroutes inside the emulator (between sub-network
+	// representatives, the paper's optimization) instead of walking the
+	// routing table. Paths are identical under static routing; the switch
+	// exercises the §3.2 mechanism end to end.
+	EmulatedTraceroute bool
+	// HierarchicalRouting routes with the two-level per-AS tables instead
+	// of flat network-wide shortest paths — the table-size regime behind
+	// the paper's 10 + x² router memory model.
+	HierarchicalRouting bool
+	// Transport selects the flow release model (Blast or TCPSlowStart).
+	Transport emu.TransportMode
+	// EngineSpeeds optionally models a heterogeneous cluster: relative
+	// speeds per engine. Mapping approaches target load proportional to
+	// speed; the emulator divides per-event cost by the engine's speed.
+	EngineSpeeds []float64
+	// IncrementalRemap makes RunDynamic refine the previous assignment
+	// between intervals (partition.Improve) instead of repartitioning from
+	// scratch, trading some balance for far fewer migrations.
+	IncrementalRemap bool
+	// Cost overrides the engine cost model (zero = PentiumIICluster).
+	Cost emu.CostModel
+	// EndTime optionally truncates the emulation.
+	EndTime float64
+	// Sequential forces single-threaded kernel execution.
+	Sequential bool
+
+	routes   netgraph.Routing
+	workload *traffic.Workload
+	appHosts []int
+}
+
+// Outcome is the result of running one mapping approach on a scenario.
+type Outcome struct {
+	Approach   mapping.Approach
+	Assignment []int
+	Result     *emu.Result
+	// ProfileRun is the initial profiling run's result (PROFILE only).
+	ProfileRun *emu.Result
+}
+
+// Routes returns (building once) the scenario's routing — flat shortest
+// paths by default, two-level per-AS tables when HierarchicalRouting is set.
+func (sc *Scenario) Routes() netgraph.Routing {
+	if sc.routes == nil {
+		if sc.HierarchicalRouting {
+			sc.routes = sc.Network.BuildHierarchicalRouting()
+		} else {
+			sc.routes = sc.Network.BuildRoutingTable()
+		}
+	}
+	return sc.routes
+}
+
+// SpreadHosts picks n injection points spread evenly over the network's
+// hosts in ID order — the deterministic default placement.
+func SpreadHosts(nw *netgraph.Network, n int) []int {
+	hosts := nw.Hosts()
+	if n >= len(hosts) {
+		return hosts
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = hosts[i*len(hosts)/n]
+	}
+	return out
+}
+
+// AppPlacement returns the scenario's injection points (resolving the
+// automatic choice on first use). Nil when there is no foreground app.
+func (sc *Scenario) AppPlacement() []int {
+	if sc.App == nil {
+		return nil
+	}
+	if sc.appHosts == nil {
+		if len(sc.AppHosts) > 0 {
+			sc.appHosts = sc.AppHosts
+		} else {
+			sc.appHosts = SpreadHosts(sc.Network, sc.App.Hosts())
+		}
+	}
+	return sc.appHosts
+}
+
+// SetWorkload installs a pre-built workload (e.g. a recorded trace being
+// replayed), overriding traffic generation. It must validate against the
+// scenario's network.
+func (sc *Scenario) SetWorkload(w traffic.Workload) {
+	sc.workload = &w
+}
+
+// Workload returns (generating once) the merged background + foreground
+// traffic. All approaches are evaluated against this same workload, as the
+// paper does.
+func (sc *Scenario) Workload() (traffic.Workload, error) {
+	if sc.workload != nil {
+		return *sc.workload, nil
+	}
+	var parts []traffic.Workload
+	if sc.Background != nil {
+		parts = append(parts, sc.Background.Generate(sc.Network))
+	}
+	if sc.App != nil {
+		hosts := sc.AppPlacement()
+		if len(hosts) != sc.App.Hosts() {
+			return traffic.Workload{}, fmt.Errorf(
+				"core: app %s needs %d hosts, network offers %d",
+				sc.App.Name(), sc.App.Hosts(), len(hosts))
+		}
+		parts = append(parts, sc.App.Generate(hosts, sc.AppSeed))
+	}
+	w := traffic.Merge(parts...)
+	if err := w.Validate(sc.Network); err != nil {
+		return traffic.Workload{}, err
+	}
+	sc.workload = &w
+	return w, nil
+}
+
+// MappingInput exposes the approach-independent mapping parameters, for
+// callers driving mapping strategies (e.g. baselines) outside Run.
+func (sc *Scenario) MappingInput() mapping.Input { return sc.mappingInput() }
+
+// mappingInput assembles the approach-independent mapping parameters.
+func (sc *Scenario) mappingInput() mapping.Input {
+	return mapping.Input{
+		Network:         sc.Network,
+		Routes:          sc.Routes(),
+		K:               sc.Engines,
+		PartOpts:        partition.Options{Seed: sc.PartSeed},
+		LatencyPriority: sc.LatencyPriority,
+		Cluster:         sc.Cluster,
+		EngineFractions: sc.EngineSpeeds,
+	}
+}
+
+// Partition computes the assignment for one approach without emulating.
+// For PROFILE this includes the profiling pre-run.
+func (sc *Scenario) Partition(a mapping.Approach) ([]int, *emu.Result, error) {
+	in := sc.mappingInput()
+	switch a {
+	case mapping.Top:
+		part, err := mapping.TopMap(in)
+		return part, nil, err
+	case mapping.Place:
+		if sc.Background != nil {
+			in.Background = sc.Background.Predict(sc.Network)
+		}
+		in.AppHosts = sc.AppPlacement()
+		if sc.EmulatedTraceroute {
+			routes, err := sc.discoverRoutes(in.Background, in.AppHosts)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: PLACE route discovery: %w", err)
+			}
+			in.DiscoveredRoutes = routes
+		}
+		part, err := mapping.PlaceMap(in)
+		return part, nil, err
+	case mapping.Profile:
+		// Phase 1: profiling run under the initial (TOP) partition.
+		topPart, err := mapping.TopMap(in)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: PROFILE initial partition: %w", err)
+		}
+		profRes, err := sc.emulate(topPart, true)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: PROFILE profiling run: %w", err)
+		}
+		// Phase 2: repartition from the NetFlow summary.
+		in.Summary = profRes.NetFlow.Summarize()
+		part, err := mapping.ProfileMap(in)
+		return part, profRes, err
+	default:
+		return nil, nil, fmt.Errorf("core: unknown approach %q", a)
+	}
+}
+
+// Run executes one approach end to end: partition (profiling first if
+// PROFILE), then emulate the shared workload on the resulting assignment.
+func (sc *Scenario) Run(a mapping.Approach) (*Outcome, error) {
+	part, profRun, err := sc.Partition(a)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sc.emulate(part, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Outcome{Approach: a, Assignment: part, Result: res, ProfileRun: profRun}, nil
+}
+
+// RunAll evaluates all three approaches on the same workload, in the paper's
+// order.
+func (sc *Scenario) RunAll() ([]*Outcome, error) {
+	var out []*Outcome
+	for _, a := range mapping.Approaches() {
+		o, err := sc.Run(a)
+		if err != nil {
+			return nil, fmt.Errorf("core: %s on %s: %w", a, sc.Name, err)
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// discoverRoutes runs the §3.2 emulated-traceroute discovery over every
+// endpoint PLACE will predict traffic for, using an interim TOP partition to
+// host the probes (route discovery precedes the final mapping, so some
+// initial placement must carry it — as in the paper's workflow).
+func (sc *Scenario) discoverRoutes(background []traffic.PairRate, appHosts []int) (map[[2]int][]int, error) {
+	seen := make(map[int]bool)
+	var endpoints []int
+	add := func(n int) {
+		if !seen[n] {
+			seen[n] = true
+			endpoints = append(endpoints, n)
+		}
+	}
+	for _, p := range background {
+		add(p.Src)
+		add(p.Dst)
+	}
+	for _, h := range appHosts {
+		add(h)
+	}
+	interim, err := mapping.TopMap(sc.mappingInput())
+	if err != nil {
+		return nil, err
+	}
+	return emu.DiscoverRoutes(sc.Network, sc.Routes(), interim, sc.Engines, endpoints, true)
+}
+
+// emulate runs the emulator on an assignment.
+func (sc *Scenario) emulate(assignment []int, profile bool) (*emu.Result, error) {
+	w, err := sc.Workload()
+	if err != nil {
+		return nil, err
+	}
+	return emu.Run(emu.Config{
+		Network:      sc.Network,
+		Routes:       sc.Routes(),
+		Assignment:   assignment,
+		NumEngines:   sc.Engines,
+		Workload:     w,
+		Cost:         sc.Cost,
+		Profile:      profile,
+		EndTime:      sc.EndTime,
+		Transport:    sc.Transport,
+		EngineSpeeds: sc.EngineSpeeds,
+		Sequential:   sc.Sequential,
+	})
+}

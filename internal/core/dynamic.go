@@ -1,0 +1,185 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/emu"
+	"repro/internal/mapping"
+	"repro/internal/metrics"
+	"repro/internal/traffic"
+)
+
+// Dynamic remapping — the paper's §6 conclusion: "Static partitions are
+// fundamentally limited for large emulation if traffic varies widely...
+// Dynamic remapping the virtual network during the emulation is the only
+// solution. Such dynamic remapping is a major challenge for distributed
+// emulators like MaSSF."
+//
+// This prototype divides the emulation into fixed intervals. The first
+// interval runs under the TOP partition with NetFlow profiling; every
+// subsequent interval is repartitioned from the previous interval's profile
+// and charged a migration cost per virtual node that changes engines (state
+// transfer over the cluster network). Flows are emulated within the interval
+// they start in — transfers spanning a boundary restart their queueing state,
+// an approximation this prototype accepts and the real MaSSF would have to
+// engineer away.
+
+// DynamicSegment reports one remapping interval.
+type DynamicSegment struct {
+	// Start is the interval's beginning in virtual seconds.
+	Start float64
+	// Imbalance is the interval's realized load imbalance.
+	Imbalance float64
+	// Migrations is the number of nodes that changed engines entering this
+	// interval.
+	Migrations int
+	// Flows is the number of flows injected during this interval.
+	Flows int
+}
+
+// DynamicResult reports a dynamically remapped emulation.
+type DynamicResult struct {
+	Segments []DynamicSegment
+	// Imbalance is the load imbalance of the total per-engine loads across
+	// the whole run.
+	Imbalance float64
+	// MeanSegmentImbalance averages the per-interval imbalances (the
+	// quantity remapping actually optimizes — it tracks load shifts).
+	MeanSegmentImbalance float64
+	// AppTime and NetTime are summed over intervals, including migration
+	// stalls in AppTime.
+	AppTime float64
+	NetTime float64
+	// Migrations is the total node-engine changes.
+	Migrations int
+}
+
+// DefaultMigrationCost is the modeled stall per migrated node: shipping a
+// router's state (routing table, queues) across 100 Mb/s Ethernet.
+const DefaultMigrationCost = 50e-3
+
+// RunDynamic emulates the scenario in intervals of the given width,
+// remapping between intervals from each interval's NetFlow profile.
+// migrationCost is the AppTime stall charged per migrated node
+// (DefaultMigrationCost when <= 0).
+func (sc *Scenario) RunDynamic(interval, migrationCost float64) (*DynamicResult, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("core: dynamic remapping needs a positive interval")
+	}
+	if migrationCost <= 0 {
+		migrationCost = DefaultMigrationCost
+	}
+	w, err := sc.Workload()
+	if err != nil {
+		return nil, err
+	}
+	duration := w.Duration
+	if duration <= 0 {
+		return nil, fmt.Errorf("core: dynamic remapping needs a workload with a duration")
+	}
+
+	in := sc.mappingInput()
+	assignment, err := mapping.TopMap(in)
+	if err != nil {
+		return nil, fmt.Errorf("core: dynamic initial partition: %w", err)
+	}
+
+	res := &DynamicResult{}
+	engineTotals := make([]float64, sc.Engines)
+	incomingMigrations := 0
+	for start := 0.0; start < duration; start += interval {
+		end := start + interval
+		if end >= duration {
+			// Applications may emit trailing flows slightly past the
+			// nominal duration; the last interval absorbs them.
+			end = math.Inf(1)
+		}
+		seg := sliceWorkload(w, start, end)
+		if math.IsInf(end, 1) {
+			seg.Duration = duration - start
+		}
+		segResult, err := emu.Run(emu.Config{
+			Network:    sc.Network,
+			Routes:     sc.Routes(),
+			Assignment: assignment,
+			NumEngines: sc.Engines,
+			Workload:   seg,
+			Cost:       sc.Cost,
+			Profile:    true,
+			Transport:  sc.Transport,
+			Sequential: sc.Sequential,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: dynamic segment at %gs: %w", start, err)
+		}
+		res.Segments = append(res.Segments, DynamicSegment{
+			Start:      start,
+			Imbalance:  segResult.Imbalance,
+			Migrations: incomingMigrations,
+			Flows:      len(seg.Flows),
+		})
+		res.AppTime += segResult.AppTime + float64(incomingMigrations)*migrationCost
+		res.NetTime += segResult.NetTime
+		res.Migrations += incomingMigrations
+		for e, l := range segResult.EngineLoads {
+			engineTotals[e] += l
+		}
+
+		// Remap for the next interval from this interval's profile — from
+		// scratch, or by refining the current assignment (fewer
+		// migrations) when IncrementalRemap is set.
+		incomingMigrations = 0
+		if end < duration && len(seg.Flows) > 0 {
+			in := sc.mappingInput()
+			in.Summary = segResult.NetFlow.Summarize()
+			if sc.IncrementalRemap {
+				next, moved, err := mapping.ProfileImprove(in, assignment)
+				if err != nil {
+					return nil, fmt.Errorf("core: dynamic incremental remap at %gs: %w", end, err)
+				}
+				incomingMigrations = moved
+				assignment = next
+			} else {
+				next, err := mapping.ProfileMap(in)
+				if err != nil {
+					return nil, fmt.Errorf("core: dynamic remap at %gs: %w", end, err)
+				}
+				for v := range next {
+					if next[v] != assignment[v] {
+						incomingMigrations++
+					}
+				}
+				assignment = next
+			}
+		}
+	}
+
+	res.Imbalance = metrics.Imbalance(engineTotals)
+	var sum float64
+	active := 0
+	for _, s := range res.Segments {
+		if s.Flows > 0 {
+			sum += s.Imbalance
+			active++
+		}
+	}
+	if active > 0 {
+		res.MeanSegmentImbalance = sum / float64(active)
+	}
+	return res, nil
+}
+
+// sliceWorkload keeps the flows starting in [start, end), rebased so the
+// segment emulation begins at virtual time 0.
+func sliceWorkload(w traffic.Workload, start, end float64) traffic.Workload {
+	out := traffic.Workload{Duration: end - start, AppHosts: w.AppHosts}
+	for _, f := range w.Flows {
+		if f.Start >= start && f.Start < end {
+			f.Start -= start
+			f.ID = len(out.Flows)
+			out.Flows = append(out.Flows, f)
+		}
+	}
+	return out
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/mapping"
+	"repro/internal/topogen"
+	"repro/internal/traffic"
+)
+
+// dynamicScenario uses GridNPB — bursty, phase-shifting traffic, the case
+// the paper's §6 says static partitions fundamentally cannot handle.
+func dynamicScenario() *Scenario {
+	return &Scenario{
+		Name:       "dynamic-test",
+		Network:    topogen.Campus(),
+		Engines:    3,
+		Background: traffic.DefaultHTTP(40, 3),
+		App:        apps.GridNPB{NumHosts: 10, Duration: 40},
+		AppSeed:    2,
+		PartSeed:   5,
+	}
+}
+
+func TestRunDynamicValidation(t *testing.T) {
+	sc := dynamicScenario()
+	if _, err := sc.RunDynamic(0, 0); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestRunDynamicSegments(t *testing.T) {
+	sc := dynamicScenario()
+	res, err := sc.RunDynamic(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) != 4 {
+		t.Fatalf("segments = %d, want 4", len(res.Segments))
+	}
+	if res.Segments[0].Migrations != 0 {
+		t.Error("first segment cannot have migrations")
+	}
+	var flows int
+	for _, s := range res.Segments {
+		flows += s.Flows
+	}
+	w, _ := sc.Workload()
+	if flows != len(w.Flows) {
+		t.Errorf("segments carry %d flows, workload has %d", flows, len(w.Flows))
+	}
+	if res.AppTime <= 0 || res.NetTime <= 0 {
+		t.Error("times not accumulated")
+	}
+}
+
+func TestRunDynamicRemapsAndCharges(t *testing.T) {
+	sc := dynamicScenario()
+	free, err := sc.RunDynamic(10, 1e-9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	costly, err := dynamicScenario().RunDynamic(10, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Migrations != costly.Migrations {
+		t.Fatalf("migration counts differ: %d vs %d", free.Migrations, costly.Migrations)
+	}
+	if free.Migrations > 0 {
+		wantExtra := float64(free.Migrations) * 1.0
+		got := costly.AppTime - free.AppTime
+		if got < wantExtra*0.9 {
+			t.Errorf("migration cost not charged: extra %.2f, want ~%.2f", got, wantExtra)
+		}
+	}
+}
+
+func TestRunDynamicBeatsStaticPerSegment(t *testing.T) {
+	// The point of dynamic remapping: per-interval imbalance should not be
+	// worse than a static TOP partition's per-interval imbalance.
+	sc := dynamicScenario()
+	dyn, err := sc.RunDynamic(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static, err := dynamicScenario().Run(mapping.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	staticFine := static.Result.EngineSeries.ImbalancePerBucket()
+	var staticMean float64
+	n := 0
+	for _, x := range staticFine {
+		if x > 0 {
+			staticMean += x
+			n++
+		}
+	}
+	if n > 0 {
+		staticMean /= float64(n)
+	}
+	if dyn.MeanSegmentImbalance > staticMean*1.25 {
+		t.Errorf("dynamic per-segment imbalance %.3f much worse than static %.3f",
+			dyn.MeanSegmentImbalance, staticMean)
+	}
+}
+
+func TestRunDynamicIncrementalFewerMigrations(t *testing.T) {
+	full := dynamicScenario()
+	fullRes, err := full.RunDynamic(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := dynamicScenario()
+	inc.IncrementalRemap = true
+	incRes, err := inc.RunDynamic(10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fullRes.Migrations > 0 && incRes.Migrations >= fullRes.Migrations {
+		t.Errorf("incremental migrations %d >= full repartition %d",
+			incRes.Migrations, fullRes.Migrations)
+	}
+	// Incremental balance may be looser but must stay in the same class.
+	if incRes.MeanSegmentImbalance > fullRes.MeanSegmentImbalance*2+0.1 {
+		t.Errorf("incremental segment imbalance %.3f far above full %.3f",
+			incRes.MeanSegmentImbalance, fullRes.MeanSegmentImbalance)
+	}
+}

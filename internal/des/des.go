@@ -1,0 +1,386 @@
+// Package des implements the conservative parallel discrete-event simulation
+// kernel underneath the emulator — the role MaSSF's SSF kernel plays in the
+// paper.
+//
+// The kernel runs one logical process (LP) per simulation-engine node.
+// Execution is window-synchronized: all LPs process their local events up to
+// a common horizon T+L, where the lookahead L is the minimum latency of any
+// link crossing the partition, then exchange the events destined for other
+// LPs at a barrier. Because every cross-LP event is delayed by at least L,
+// events received at the barrier are always timestamped at or beyond the next
+// window, so no LP ever sees an event in its past (the classic synchronous
+// conservative protocol).
+//
+// This is exactly why the paper's first partitioning objective — maximize the
+// link latency cut by the partition — matters: a larger lookahead means wider
+// windows, fewer barriers, and more concurrency (§2.2.3).
+//
+// LPs run on real goroutines, so wall-clock benchmarks exercise true
+// parallelism, while deterministic per-window statistics feed the engine cost
+// model that reproduces the paper's emulation-time metrics.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Event is a timestamped message destined for an LP.
+type Event struct {
+	// Time is the virtual time at which the event fires (seconds).
+	Time float64
+	// LP is the destination logical process.
+	LP int
+	// Data is the opaque payload interpreted by the Handler.
+	Data any
+
+	// seq orders simultaneous events deterministically. Locally scheduled
+	// events get the destination LP's next sequence number; events arriving
+	// over the barrier are re-sequenced in a deterministic merge order.
+	seq int64
+}
+
+// Handler processes one event on behalf of LP lp at virtual time t. It may
+// schedule further events — local or remote — through the Scheduler, and
+// should call Scheduler.Charge to account the kernel-event load the event
+// represents (the emulator charges one kernel event per packet, §4.1.1).
+type Handler func(lp int, t float64, data any, s *Scheduler)
+
+// WindowObserver is called once per executed window, after the barrier, on a
+// single goroutine. charges[lp] is the kernel-event load LP lp accrued during
+// [start,end); remote[lp] is the number of events it sent to other LPs.
+// The slices are reused between calls — copy them if retained.
+type WindowObserver func(start, end float64, charges, remote []int64)
+
+// Config configures a Kernel.
+type Config struct {
+	// NumLPs is the number of logical processes (simulation-engine nodes).
+	NumLPs int
+	// Lookahead is the synchronization window width L in virtual seconds.
+	// It must be positive; cross-LP events must be scheduled at least L in
+	// the future.
+	Lookahead float64
+	// Handler processes events. Required.
+	Handler Handler
+	// Observer, if non-nil, receives per-window load statistics.
+	Observer WindowObserver
+	// EndTime, if positive, stops the run once the next event would fire at
+	// or beyond this virtual time.
+	EndTime float64
+	// Sequential forces single-goroutine execution (useful to isolate
+	// determinism bugs; results must be identical either way).
+	Sequential bool
+}
+
+// Stats summarizes a completed run.
+type Stats struct {
+	// VirtualEnd is the virtual time of the last executed window's end.
+	VirtualEnd float64
+	// Windows is the number of executed (non-empty) windows, i.e. barriers.
+	Windows int64
+	// SkippedTime is the idle virtual time jumped over between busy windows.
+	SkippedTime float64
+	// Events is the number of handler invocations per LP.
+	Events []int64
+	// Charges is the accumulated kernel-event load per LP (via Charge).
+	Charges []int64
+	// RemoteSends is the number of cross-LP events sent per LP.
+	RemoteSends []int64
+	// WallTime is the real time the run took.
+	WallTime time.Duration
+}
+
+// TotalCharges sums the per-LP kernel-event loads.
+func (s *Stats) TotalCharges() int64 {
+	var t int64
+	for _, c := range s.Charges {
+		t += c
+	}
+	return t
+}
+
+// Scheduler is the per-LP interface handlers use to schedule events and
+// account load. It is only valid inside a Handler invocation.
+type Scheduler struct {
+	k         *Kernel
+	lp        int
+	now       float64
+	windowEnd float64
+	charges   int64
+	remote    int64
+	outbox    []Event // events for other LPs, flushed at the barrier
+	err       error
+}
+
+// Now returns the virtual time of the event being handled.
+func (s *Scheduler) Now() float64 { return s.now }
+
+// LP returns the logical process the current event executes on.
+func (s *Scheduler) LP() int { return s.lp }
+
+// Charge accounts n kernel events (packets) to the current LP in the current
+// window.
+func (s *Scheduler) Charge(n int64) { s.charges += n }
+
+// Schedule enqueues an event for LP lp at virtual time t. Local events
+// (lp == current) may be scheduled at any t >= Now(). Remote events must obey
+// the lookahead: t >= current window end. Violations poison the run with an
+// error rather than corrupting causality.
+func (s *Scheduler) Schedule(lp int, t float64, data any) {
+	if t < s.now {
+		s.fail(fmt.Errorf("des: LP %d scheduled event in the past: t=%g < now=%g", s.lp, t, s.now))
+		return
+	}
+	if lp == s.lp {
+		s.k.pushLocal(lp, Event{Time: t, LP: lp, Data: data})
+		return
+	}
+	if lp < 0 || lp >= s.k.cfg.NumLPs {
+		s.fail(fmt.Errorf("des: LP %d scheduled event for invalid LP %d", s.lp, lp))
+		return
+	}
+	if t < s.windowEnd-1e-12 {
+		s.fail(fmt.Errorf("des: LP %d violated lookahead: remote event at t=%g before window end %g", s.lp, t, s.windowEnd))
+		return
+	}
+	s.remote++
+	s.outbox = append(s.outbox, Event{Time: t, LP: lp, Data: data})
+}
+
+func (s *Scheduler) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Kernel is the parallel event engine. Create with New, seed initial events
+// with Schedule, then call Run once.
+type Kernel struct {
+	cfg    Config
+	queues []eventHeap
+	seqs   []int64
+}
+
+// New validates cfg and returns a kernel ready for initial event injection.
+func New(cfg Config) (*Kernel, error) {
+	if cfg.NumLPs < 1 {
+		return nil, fmt.Errorf("des: NumLPs = %d, must be >= 1", cfg.NumLPs)
+	}
+	if cfg.Lookahead <= 0 {
+		return nil, fmt.Errorf("des: Lookahead = %g, must be > 0", cfg.Lookahead)
+	}
+	if cfg.Handler == nil {
+		return nil, fmt.Errorf("des: Handler is required")
+	}
+	return &Kernel{
+		cfg:    cfg,
+		queues: make([]eventHeap, cfg.NumLPs),
+		seqs:   make([]int64, cfg.NumLPs),
+	}, nil
+}
+
+// Schedule inserts an initial event before Run (not safe during Run; use the
+// Scheduler inside handlers there).
+func (k *Kernel) Schedule(lp int, t float64, data any) error {
+	if lp < 0 || lp >= k.cfg.NumLPs {
+		return fmt.Errorf("des: initial event for invalid LP %d", lp)
+	}
+	if t < 0 {
+		return fmt.Errorf("des: initial event at negative time %g", t)
+	}
+	k.pushLocal(lp, Event{Time: t, LP: lp, Data: data})
+	return nil
+}
+
+func (k *Kernel) pushLocal(lp int, ev Event) {
+	ev.seq = k.seqs[lp]
+	k.seqs[lp]++
+	heap.Push(&k.queues[lp], ev)
+}
+
+// Run executes the simulation to completion (or EndTime) and returns
+// statistics. It must be called at most once.
+func (k *Kernel) Run() (*Stats, error) {
+	n := k.cfg.NumLPs
+	L := k.cfg.Lookahead
+	stats := &Stats{
+		Events:      make([]int64, n),
+		Charges:     make([]int64, n),
+		RemoteSends: make([]int64, n),
+	}
+	start := time.Now()
+
+	scheds := make([]*Scheduler, n)
+	for lp := range scheds {
+		scheds[lp] = &Scheduler{k: k, lp: lp}
+	}
+	winCharges := make([]int64, n)
+	winRemote := make([]int64, n)
+
+	T := 0.0
+	if t, ok := k.minNextTime(); ok {
+		T = windowFloor(t, L)
+	}
+
+	for {
+		next, ok := k.minNextTime()
+		if !ok {
+			break
+		}
+		if k.cfg.EndTime > 0 && next >= k.cfg.EndTime {
+			break
+		}
+		// Jump over idle stretches, keeping the window grid aligned.
+		if next >= T+L {
+			nt := windowFloor(next, L)
+			stats.SkippedTime += nt - T
+			T = nt
+		}
+		windowEnd := T + L
+
+		// Process the window on all LPs.
+		if k.cfg.Sequential {
+			for lp := 0; lp < n; lp++ {
+				k.runWindow(lp, scheds[lp], T, windowEnd, stats)
+			}
+		} else {
+			var wg sync.WaitGroup
+			for lp := 0; lp < n; lp++ {
+				wg.Add(1)
+				go func(lp int) {
+					defer wg.Done()
+					k.runWindow(lp, scheds[lp], T, windowEnd, stats)
+				}(lp)
+			}
+			wg.Wait()
+		}
+
+		// Barrier: check errors, merge outboxes deterministically, observe.
+		for lp := 0; lp < n; lp++ {
+			if err := scheds[lp].err; err != nil {
+				return nil, err
+			}
+		}
+		k.mergeOutboxes(scheds)
+		if k.cfg.Observer != nil {
+			for lp := 0; lp < n; lp++ {
+				winCharges[lp] = scheds[lp].charges
+				winRemote[lp] = scheds[lp].remote
+				scheds[lp].charges = 0
+				scheds[lp].remote = 0
+			}
+			k.cfg.Observer(T, windowEnd, winCharges, winRemote)
+		} else {
+			for lp := 0; lp < n; lp++ {
+				scheds[lp].charges = 0
+				scheds[lp].remote = 0
+			}
+		}
+		stats.Windows++
+		stats.VirtualEnd = windowEnd
+		T = windowEnd
+	}
+
+	stats.WallTime = time.Since(start)
+	return stats, nil
+}
+
+// runWindow drains one LP's queue up to windowEnd. Only this goroutine
+// touches the LP's queue during the window; remote events go to the private
+// outbox.
+func (k *Kernel) runWindow(lp int, s *Scheduler, T, windowEnd float64, stats *Stats) {
+	s.windowEnd = windowEnd
+	q := &k.queues[lp]
+	for q.Len() > 0 && (*q)[0].Time < windowEnd {
+		if k.cfg.EndTime > 0 && (*q)[0].Time >= k.cfg.EndTime {
+			break
+		}
+		ev := heap.Pop(q).(Event)
+		s.now = ev.Time
+		stats.Events[lp]++
+		preCharge := s.charges
+		k.cfg.Handler(lp, ev.Time, ev.Data, s)
+		stats.Charges[lp] += s.charges - preCharge
+		if s.err != nil {
+			return
+		}
+	}
+	stats.RemoteSends[lp] += s.remote
+}
+
+// mergeOutboxes distributes cross-LP events into destination queues in a
+// deterministic order (time, then sending LP, then send order), assigning
+// fresh local sequence numbers.
+func (k *Kernel) mergeOutboxes(scheds []*Scheduler) {
+	type tagged struct {
+		ev     Event
+		src    int
+		srcIdx int
+	}
+	var all []tagged
+	for src, s := range scheds {
+		for i, ev := range s.outbox {
+			all = append(all, tagged{ev: ev, src: src, srcIdx: i})
+		}
+		s.outbox = s.outbox[:0]
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.ev.Time != b.ev.Time {
+			return a.ev.Time < b.ev.Time
+		}
+		if a.src != b.src {
+			return a.src < b.src
+		}
+		return a.srcIdx < b.srcIdx
+	})
+	for _, t := range all {
+		k.pushLocal(t.ev.LP, t.ev)
+	}
+}
+
+// minNextTime returns the earliest pending event time across all LPs.
+func (k *Kernel) minNextTime() (float64, bool) {
+	best := math.Inf(1)
+	found := false
+	for lp := range k.queues {
+		if k.queues[lp].Len() > 0 {
+			if t := k.queues[lp][0].Time; t < best {
+				best = t
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// windowFloor aligns t down to the window grid of width L.
+func windowFloor(t, L float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return math.Floor(t/L) * L
+}
+
+// eventHeap is a binary min-heap ordered by (Time, seq).
+type eventHeap []Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].Time != h[j].Time {
+		return h[i].Time < h[j].Time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	ev := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return ev
+}

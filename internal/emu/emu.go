@@ -1,0 +1,560 @@
+// Package emu is the distributed network emulator — the reproduction of
+// MaSSF, the paper's large-scale network emulation system inside MicroGrid.
+//
+// A run takes a virtual network, an assignment of its nodes to
+// simulation-engine nodes (the partition under study), and a traffic
+// workload. Every flow becomes a train of packet groups forwarded hop by hop
+// along the routed path; each hop charges one kernel event per packet to the
+// engine owning that node ("the load of a simulation engine node [is] the
+// simulation kernel event rate, essentially one per packet", §4.1.1). Links
+// model serialization (bytes/bandwidth) with FIFO queueing and propagation
+// latency; engine-to-engine hand-offs ride the conservative DES kernel whose
+// lookahead is the minimum latency cut by the assignment.
+//
+// The run reports the paper's three metrics:
+//
+//   - load imbalance: normalized standard deviation of per-engine kernel
+//     event counts,
+//   - application emulation time: virtual-time-paced execution, where a
+//     window takes max(its width, the busiest engine's processing cost) of
+//     real time — compute-bound stretches run in real time, overloaded
+//     windows dilate (MicroGrid pacing),
+//   - network emulation time: the same event stream replayed as fast as
+//     possible (no real-time floor), the paper's isolated replay metric.
+//
+// When profiling is enabled the emulator additionally runs the NetFlow-like
+// accounting of §3.3 on every node, feeding the PROFILE mapping.
+package emu
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/des"
+	"repro/internal/metrics"
+	"repro/internal/netflow"
+	"repro/internal/netgraph"
+	"repro/internal/traffic"
+)
+
+// CostModel prices the work of one simulation-engine node, calibrated to the
+// paper's cluster (dual 550 MHz Pentium-II nodes on switched 100 Mb/s
+// Ethernet, §4.1.2).
+type CostModel struct {
+	// PerEvent is the CPU cost of one kernel event (one packet hop).
+	PerEvent float64
+	// PerRemote is the cost of shipping one simulation event to another
+	// engine over the cluster network.
+	PerRemote float64
+	// PerWindow is the per-barrier synchronization cost.
+	PerWindow float64
+}
+
+// PentiumIICluster is the default cost model: ~50 µs of packet processing
+// (tens of kcycles of emulation logic — routing, queueing, TCP bookkeeping —
+// per packet on a 550 MHz CPU), ~120 µs per cross-engine message (small TCP
+// message on 100 Mb/s Ethernet), ~30 µs per window synchronization. The sync
+// term is deliberately modest: MaSSF's conservative protocol exchanges
+// per-neighbor null messages asynchronously rather than running a full
+// cluster barrier, so its amortized per-window cost is far below a barrier's.
+var PentiumIICluster = CostModel{
+	PerEvent:  50e-6,
+	PerRemote: 120e-6,
+	PerWindow: 30e-6,
+}
+
+func (c CostModel) withDefaults() CostModel {
+	if c.PerEvent <= 0 {
+		c.PerEvent = PentiumIICluster.PerEvent
+	}
+	if c.PerRemote <= 0 {
+		c.PerRemote = PentiumIICluster.PerRemote
+	}
+	if c.PerWindow <= 0 {
+		c.PerWindow = PentiumIICluster.PerWindow
+	}
+	return c
+}
+
+// Config describes one emulation run.
+type Config struct {
+	// Network is the virtual topology. Required.
+	Network *netgraph.Network
+	// Routes is the routing table; built from Network when nil.
+	Routes netgraph.Routing
+	// Assignment maps every node to a simulation engine in [0, NumEngines).
+	// Required.
+	Assignment []int
+	// NumEngines is the number of simulation-engine nodes. Required.
+	NumEngines int
+	// Workload is the traffic to emulate. Required (may be empty).
+	Workload traffic.Workload
+	// ChunkBytes is the packet-group granularity: flows are forwarded in
+	// chunks of at most this many bytes, each chunk one DES event per hop
+	// while still charging per-packet load. Default 64 KiB.
+	ChunkBytes int64
+	// MTU is the packet size used to convert bytes to kernel events.
+	// Default 1500.
+	MTU int64
+	// Cost prices engine work; zero fields default to PentiumIICluster.
+	Cost CostModel
+	// Profile enables NetFlow collection on every node.
+	Profile bool
+	// BucketWidth is the load-series granularity in virtual seconds
+	// (default 2, the paper's fine-grained interval).
+	BucketWidth float64
+	// EndTime optionally truncates the emulation.
+	EndTime float64
+	// Transport selects how flows release their packet groups at the
+	// source: Blast (default) or TCPSlowStart. See TransportMode.
+	Transport TransportMode
+	// EngineSpeeds optionally gives relative processing speeds per engine
+	// (heterogeneous clusters): an engine with speed 2 handles a kernel
+	// event in half the base PerEvent time. nil or wrong length means all
+	// engines run at speed 1 (the paper's homogeneity assumption, §5).
+	EngineSpeeds []float64
+	// BufferBytes, when positive, bounds each link direction's FIFO queue:
+	// a packet group arriving while the transmitter backlog exceeds the
+	// buffer is tail-dropped, as a real router queue would. 0 (default)
+	// models unbounded buffers.
+	BufferBytes int64
+	// MinLookahead floors the synchronization window (default 100 µs) so a
+	// pathological partition cannot drive the window count to infinity.
+	MinLookahead float64
+	// Sequential forces the kernel to run single-threaded.
+	Sequential bool
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Kernel is the raw DES statistics (windows, events, wall time).
+	Kernel *des.Stats
+	// Lookahead is the window width used, i.e. the minimum latency of any
+	// link cut by the assignment.
+	Lookahead float64
+	// EngineLoads is the kernel-event count per engine.
+	EngineLoads []float64
+	// Imbalance is the paper's metric: stddev(EngineLoads)/mean.
+	Imbalance float64
+	// AppTime is the modeled application emulation time in seconds (paced).
+	AppTime float64
+	// NetTime is the modeled isolated network emulation (replay) time.
+	NetTime float64
+	// EngineBusy is the total processing cost per engine in seconds.
+	EngineBusy []float64
+	// EngineSeries is the per-engine kernel-event load bucketed at
+	// BucketWidth — the basis of the fine-grained imbalance of Figure 8.
+	EngineSeries *metrics.Series
+	// NetFlow is the profiling collector; nil unless Config.Profile.
+	NetFlow *netflow.Collector
+	// RemoteEvents is the total number of engine-to-engine event messages.
+	RemoteEvents int64
+	// FlowFCTs[i] is flow i's completion time (delivery of its last byte at
+	// the destination, measured from the flow's start), or -1 if the flow
+	// did not complete within the run. Indexed like Workload.Flows.
+	FlowFCTs []float64
+	// DroppedPackets counts packets tail-dropped at full link buffers
+	// (always 0 with the default unbounded buffers).
+	DroppedPackets int64
+	// LinkBytes[l] is the total bytes carried by link l over the run (both
+	// directions) — the utilization view a network operator would pull.
+	LinkBytes []int64
+}
+
+// FCTStats summarizes the completed flows' completion times: count, mean,
+// and 95th percentile. Incomplete flows are excluded.
+func (r *Result) FCTStats() (completed int, mean, p95 float64) {
+	var done []float64
+	for _, f := range r.FlowFCTs {
+		if f >= 0 {
+			done = append(done, f)
+		}
+	}
+	if len(done) == 0 {
+		return 0, 0, 0
+	}
+	return len(done), metrics.Mean(done), metrics.Percentile(done, 95)
+}
+
+// flowRun is the per-flow routing state shared read-only by all engines.
+type flowRun struct {
+	idx      int // position in the workload's flow list
+	id       int
+	src, dst int
+	start    float64
+	path     []int // node IDs, src..dst
+	links    []int // link IDs, len(path)-1
+	bytes    int64
+	rtt      float64 // 2x one-way path latency (for TCP pacing)
+	tag      string
+}
+
+// flowStart injects a flow at its source host.
+type flowStart struct {
+	flow *flowRun
+}
+
+// chunkArrival is one packet group arriving at path[hop].
+type chunkArrival struct {
+	flow    *flowRun
+	hop     int
+	packets int64
+	bytes   int64
+}
+
+// Lookahead returns the synchronization window implied by an assignment: the
+// minimum latency among links whose endpoints live on different engines.
+// The floor never overrides a real cut-link latency (that would break
+// causality); it only applies when no link is cut (single-engine runs),
+// where any window width is safe.
+func Lookahead(nw *netgraph.Network, assignment []int, minLookahead float64) float64 {
+	if minLookahead <= 0 {
+		minLookahead = 100e-6
+	}
+	min := math.Inf(1)
+	max := 0.0
+	for _, l := range nw.Links {
+		if l.Latency > max {
+			max = l.Latency
+		}
+		if assignment[l.A] != assignment[l.B] && l.Latency < min {
+			min = l.Latency
+		}
+	}
+	if math.IsInf(min, 1) {
+		min = max
+		if min < minLookahead {
+			min = minLookahead
+		}
+	}
+	if min <= 0 {
+		min = 1e-9 // zero-latency cut link: degenerate but still correct
+	}
+	return min
+}
+
+// Run executes one emulation and returns its metrics.
+func Run(cfg Config) (*Result, error) {
+	if err := validate(&cfg); err != nil {
+		return nil, err
+	}
+	nw := cfg.Network
+	rt := cfg.Routes
+	if rt == nil {
+		rt = nw.BuildRoutingTable()
+	}
+
+	// Resolve flow routes up front; routes are static for a run.
+	flows := make([]*flowRun, 0, len(cfg.Workload.Flows))
+	for _, f := range cfg.Workload.Flows {
+		path := nw.Route(rt, f.Src, f.Dst)
+		if path == nil {
+			return nil, fmt.Errorf("emu: flow %d has no route %d -> %d", f.ID, f.Src, f.Dst)
+		}
+		links := nw.RouteLinks(rt, f.Src, f.Dst)
+		var oneWay float64
+		for _, lid := range links {
+			oneWay += nw.Links[lid].Latency
+		}
+		flows = append(flows, &flowRun{
+			idx: len(flows),
+			id:  f.ID, src: f.Src, dst: f.Dst, start: f.Start,
+			path: path, links: links, bytes: f.Bytes, rtt: 2 * oneWay, tag: f.Tag,
+		})
+	}
+
+	duration := cfg.Workload.Duration
+	if cfg.EndTime > 0 && cfg.EndTime < duration {
+		duration = cfg.EndTime
+	}
+	if duration <= 0 {
+		duration = 1
+	}
+
+	// Per-(link,direction) transmitter state. Direction 0 carries A->B
+	// traffic and is owned by A's engine; direction 1 by B's. Exactly one
+	// engine writes each slot, so no synchronization is needed. The same
+	// ownership argument covers the per-direction byte counters, and a
+	// flow's delivery state is written only by its destination's engine.
+	busyUntil := make([][2]float64, len(nw.Links))
+	linkBytes := make([][2]int64, len(nw.Links))
+	drops := make([][2]int64, len(nw.Links))
+	delivered := make([]int64, len(flows))
+	fcts := make([]float64, len(flows))
+	for i := range fcts {
+		fcts[i] = -1
+	}
+
+	var collector *netflow.Collector
+	if cfg.Profile {
+		collector = netflow.NewCollector(nw.NumNodes(), duration, cfg.BucketWidth)
+	}
+
+	buckets := int(duration/cfg.BucketWidth) + 1
+	engineSeries := metrics.NewSeries(cfg.BucketWidth, cfg.NumEngines, buckets)
+
+	lookahead := Lookahead(nw, cfg.Assignment, cfg.MinLookahead)
+	cost := cfg.Cost.withDefaults()
+	speeds := cfg.EngineSpeeds
+	if len(speeds) != cfg.NumEngines {
+		speeds = nil
+	}
+	speedOf := func(lp int) float64 {
+		if speeds == nil || speeds[lp] <= 0 {
+			return 1
+		}
+		return speeds[lp]
+	}
+
+	e := &emulation{
+		cfg:       &cfg,
+		nw:        nw,
+		busyUntil: busyUntil,
+		linkBytes: linkBytes,
+		drops:     drops,
+		delivered: delivered,
+		fcts:      fcts,
+		collector: collector,
+		series:    engineSeries,
+	}
+
+	// Time model. A strict per-window max would over-penalize sub-
+	// millisecond burstiness: a real engine that falls briefly behind in
+	// one lookahead window simply drains its backlog while its peers wait
+	// at most one barrier, so load effectively averages over short spans.
+	// We therefore aggregate compute cost per engine over BucketWidth
+	// buckets (the paper's own 2-second measurement interval) and take the
+	// cross-engine max per bucket, while synchronization is still charged
+	// per executed window — the term the latency objective minimizes.
+	engineBusy := make([]float64, cfg.NumEngines)
+	bucketCost := make([][]float64, buckets)
+	for b := range bucketCost {
+		bucketCost[b] = make([]float64, cfg.NumEngines)
+	}
+	bucketSync := make([]float64, buckets)
+	bucketBusyWidth := make([]float64, buckets)
+	bucketOf := func(t float64) int {
+		b := int(t / cfg.BucketWidth)
+		if b < 0 {
+			b = 0
+		}
+		if b >= buckets {
+			b = buckets - 1
+		}
+		return b
+	}
+	observer := func(start, end float64, charges, remote []int64) {
+		b := bucketOf(start)
+		for lp := 0; lp < cfg.NumEngines; lp++ {
+			c := (float64(charges[lp])*cost.PerEvent + float64(remote[lp])*cost.PerRemote) / speedOf(lp)
+			engineBusy[lp] += c
+			bucketCost[b][lp] += c
+			e.series.Add(start, lp, float64(charges[lp]))
+		}
+		bucketSync[b] += cost.PerWindow
+		bucketBusyWidth[b] += end - start
+	}
+
+	kernel, err := des.New(des.Config{
+		NumLPs:     cfg.NumEngines,
+		Lookahead:  lookahead,
+		Handler:    e.handle,
+		Observer:   observer,
+		EndTime:    cfg.EndTime,
+		Sequential: cfg.Sequential,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for _, fr := range flows {
+		if cfg.EndTime > 0 && fr.start >= cfg.EndTime {
+			continue
+		}
+		if err := kernel.Schedule(cfg.Assignment[fr.src], fr.start, flowStart{flow: fr}); err != nil {
+			return nil, err
+		}
+	}
+
+	stats, err := kernel.Run()
+	if err != nil {
+		return nil, err
+	}
+
+	var appTime, netTime float64
+	for b := 0; b < buckets; b++ {
+		maxCost := 0.0
+		for lp := 0; lp < cfg.NumEngines; lp++ {
+			if bucketCost[b][lp] > maxCost {
+				maxCost = bucketCost[b][lp]
+			}
+		}
+		c := maxCost + bucketSync[b]
+		netTime += c
+		if c < bucketBusyWidth[b] {
+			c = bucketBusyWidth[b]
+		}
+		appTime += c
+	}
+	// Idle virtual time still elapses in a real-time-paced emulation.
+	appTime += stats.SkippedTime
+
+	loads := make([]float64, cfg.NumEngines)
+	for lp := range loads {
+		loads[lp] = float64(stats.Charges[lp])
+	}
+	var remoteTotal int64
+	for _, r := range stats.RemoteSends {
+		remoteTotal += r
+	}
+
+	linkTotals := make([]int64, len(nw.Links))
+	var dropped int64
+	for l := range linkBytes {
+		linkTotals[l] = linkBytes[l][0] + linkBytes[l][1]
+		dropped += drops[l][0] + drops[l][1]
+	}
+	return &Result{
+		Kernel:         stats,
+		Lookahead:      lookahead,
+		EngineLoads:    loads,
+		Imbalance:      metrics.Imbalance(loads),
+		AppTime:        appTime,
+		NetTime:        netTime,
+		EngineBusy:     engineBusy,
+		EngineSeries:   engineSeries,
+		NetFlow:        collector,
+		RemoteEvents:   remoteTotal,
+		FlowFCTs:       fcts,
+		LinkBytes:      linkTotals,
+		DroppedPackets: dropped,
+	}, nil
+}
+
+func validate(cfg *Config) error {
+	if cfg.Network == nil {
+		return fmt.Errorf("emu: Network is required")
+	}
+	if cfg.NumEngines < 1 {
+		return fmt.Errorf("emu: NumEngines = %d, must be >= 1", cfg.NumEngines)
+	}
+	if len(cfg.Assignment) != cfg.Network.NumNodes() {
+		return fmt.Errorf("emu: assignment covers %d nodes, network has %d",
+			len(cfg.Assignment), cfg.Network.NumNodes())
+	}
+	for n, e := range cfg.Assignment {
+		if e < 0 || e >= cfg.NumEngines {
+			return fmt.Errorf("emu: node %d assigned to engine %d, want [0,%d)", n, e, cfg.NumEngines)
+		}
+	}
+	if err := cfg.Workload.Validate(cfg.Network); err != nil {
+		return err
+	}
+	if cfg.ChunkBytes <= 0 {
+		cfg.ChunkBytes = 64 << 10
+	}
+	if cfg.MTU <= 0 {
+		cfg.MTU = 1500
+	}
+	if cfg.BucketWidth <= 0 {
+		cfg.BucketWidth = 2
+	}
+	return nil
+}
+
+// emulation is the handler state shared by all engines during a run.
+type emulation struct {
+	cfg       *Config
+	nw        *netgraph.Network
+	busyUntil [][2]float64
+	linkBytes [][2]int64
+	drops     [][2]int64
+	delivered []int64
+	fcts      []float64
+	collector *netflow.Collector
+	series    *metrics.Series
+}
+
+// handle processes one DES event on engine lp.
+func (e *emulation) handle(lp int, t float64, data any, s *des.Scheduler) {
+	switch ev := data.(type) {
+	case flowStart:
+		if e.cfg.Transport == TCPSlowStart {
+			e.startFlowTCP(t, ev.flow, s)
+		} else {
+			e.startFlowBlast(t, ev.flow, s)
+		}
+	case tcpRound:
+		e.releaseRound(t, ev, s)
+	case chunkArrival:
+		e.arrive(t, ev, s)
+	default:
+		panic(fmt.Sprintf("emu: unknown event payload %T", data))
+	}
+}
+
+// startFlowBlast splits the flow into chunks and forwards each from the
+// source immediately.
+func (e *emulation) startFlowBlast(t float64, f *flowRun, s *des.Scheduler) {
+	remaining := f.bytes
+	for remaining > 0 {
+		b := e.cfg.ChunkBytes
+		if b > remaining {
+			b = remaining
+		}
+		remaining -= b
+		packets := (b + e.cfg.MTU - 1) / e.cfg.MTU
+		e.arrive(t, chunkArrival{flow: f, hop: 0, packets: packets, bytes: b}, s)
+	}
+}
+
+// arrive processes a chunk at node path[hop]: charge the kernel events,
+// account NetFlow, and forward over the next link if not at the destination.
+func (e *emulation) arrive(t float64, c chunkArrival, s *des.Scheduler) {
+	f := c.flow
+	node := f.path[c.hop]
+	s.Charge(c.packets)
+	if e.collector != nil {
+		inLink := -1
+		if c.hop > 0 {
+			inLink = f.links[c.hop-1]
+		}
+		e.collector.Observe(node, f.id, f.src, f.dst, inLink, c.packets, c.bytes, t)
+	}
+	if c.hop == len(f.path)-1 {
+		// Delivered: track the flow's completion at the destination.
+		e.delivered[f.idx] += c.bytes
+		if e.delivered[f.idx] >= f.bytes && e.fcts[f.idx] < 0 {
+			e.fcts[f.idx] = t - f.start
+		}
+		return
+	}
+
+	lid := f.links[c.hop]
+	link := &e.nw.Links[lid]
+	dir := 0
+	if link.B == node {
+		dir = 1
+	}
+	// FIFO transmitter: serialization after any queued chunks; with a
+	// finite buffer, arrivals beyond the backlog limit are tail-dropped.
+	depart := t
+	if bu := e.busyUntil[lid][dir]; bu > depart {
+		if e.cfg.BufferBytes > 0 {
+			backlog := (bu - t) * link.Bandwidth / 8
+			if backlog > float64(e.cfg.BufferBytes) {
+				e.drops[lid][dir] += c.packets
+				return
+			}
+		}
+		depart = bu
+	}
+	depart += float64(c.bytes*8) / link.Bandwidth
+	e.busyUntil[lid][dir] = depart
+	e.linkBytes[lid][dir] += c.bytes
+	arrival := depart + link.Latency
+
+	next := f.path[c.hop+1]
+	c.hop++
+	s.Schedule(e.cfg.Assignment[next], arrival, c)
+}

@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"repro/internal/mapping"
+)
+
+// WriteCSV dumps every regenerated table and figure as plot-ready CSV files
+// into dir (created if missing): table1.csv, fig2.csv, fig4.csv … fig10.csv,
+// table2.csv, fig8.csv, baselines.csv.
+func WriteCSV(dir string, r *Report) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	writers := []struct {
+		name string
+		rows [][]string
+	}{
+		{"fig4.csv", suiteCSV(r.ScaLapack, func(c Cell) float64 { return c.Imbalance })},
+		{"fig5.csv", suiteCSV(r.GridNPB, func(c Cell) float64 { return c.Imbalance })},
+		{"fig6.csv", suiteCSV(r.ScaLapack, func(c Cell) float64 { return c.AppTime })},
+		{"fig7.csv", suiteCSV(r.GridNPB, func(c Cell) float64 { return c.AppTime })},
+		{"fig9.csv", suiteCSV(r.ScaLapack, func(c Cell) float64 { return c.NetTime })},
+		{"fig10.csv", suiteCSV(r.GridNPB, func(c Cell) float64 { return c.NetTime })},
+		{"fig2.csv", fig2CSV(r)},
+		{"fig8.csv", fig8CSV(r.Fig8)},
+		{"table2.csv", table2CSV(r.Table2)},
+		{"baselines.csv", baselinesCSV(r.Baselines)},
+	}
+	for _, w := range writers {
+		if w.rows == nil {
+			continue
+		}
+		if err := writeCSVFile(filepath.Join(dir, w.name), w.rows); err != nil {
+			return fmt.Errorf("experiments: %s: %w", w.name, err)
+		}
+	}
+	return nil
+}
+
+func writeCSVFile(path string, rows [][]string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	if err := w.WriteAll(rows); err != nil {
+		f.Close()
+		return err
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func ftoa(v float64) string { return strconv.FormatFloat(v, 'g', 8, 64) }
+
+func suiteCSV(s *Suite, val func(Cell) float64) [][]string {
+	if s == nil {
+		return nil
+	}
+	rows := [][]string{{"topology", "approach", "value"}}
+	for _, c := range s.Cells {
+		rows = append(rows, []string{c.Topology, string(c.Approach), ftoa(val(c))})
+	}
+	return rows
+}
+
+func fig2CSV(r *Report) [][]string {
+	if r.Fig2 == nil {
+		return nil
+	}
+	s := r.Fig2
+	header := []string{"t"}
+	for n := 0; n < s.Nodes(); n++ {
+		header = append(header, fmt.Sprintf("engine%d", n))
+	}
+	rows := [][]string{header}
+	for b, row := range s.Loads {
+		out := []string{ftoa(float64(b) * s.BucketWidth)}
+		for _, v := range row {
+			out = append(out, ftoa(v))
+		}
+		rows = append(rows, out)
+	}
+	return rows
+}
+
+func fig8CSV(f *Fig8Result) [][]string {
+	if f == nil {
+		return nil
+	}
+	rows := [][]string{{"t", "top", "profile"}}
+	n := len(f.Top)
+	if len(f.Profile) < n {
+		n = len(f.Profile)
+	}
+	for i := 0; i < n; i++ {
+		rows = append(rows, []string{
+			ftoa(float64(i) * f.BucketWidth), ftoa(f.Top[i]), ftoa(f.Profile[i]),
+		})
+	}
+	return rows
+}
+
+func table2CSV(rows []Table2Row) [][]string {
+	if rows == nil {
+		return nil
+	}
+	out := [][]string{{"approach", "imbalance", "exec_time_s"}}
+	for _, r := range rows {
+		out = append(out, []string{string(r.Approach), ftoa(r.Imbalance), ftoa(r.AppTime)})
+	}
+	return out
+}
+
+func baselinesCSV(rows []BaselineRow) [][]string {
+	if rows == nil {
+		return nil
+	}
+	out := [][]string{{"strategy", "imbalance", "app_time_s", "lookahead_s"}}
+	for _, r := range rows {
+		out = append(out, []string{string(r.Approach), ftoa(r.Imbalance), ftoa(r.AppTime), ftoa(r.Lookahead)})
+	}
+	return out
+}
+
+// sampleReport builds a tiny synthetic Report for CSV-writer tests.
+func sampleReport() *Report {
+	suite := func(app string) *Suite {
+		s := &Suite{App: app}
+		for _, topo := range []string{"Campus"} {
+			for i, a := range mapping.Approaches() {
+				s.Cells = append(s.Cells, Cell{
+					Topology: topo, Approach: a,
+					Imbalance: 0.1 * float64(i+1), AppTime: 100, NetTime: 50,
+				})
+			}
+		}
+		return s
+	}
+	return &Report{
+		ScaLapack: suite("ScaLapack"),
+		GridNPB:   suite("GridNPB"),
+		Fig8:      &Fig8Result{BucketWidth: 2, Top: []float64{0.3, 0.2}, Profile: []float64{0.1, 0.1}},
+		Table2: []Table2Row{
+			{Approach: mapping.Top, Imbalance: 1.0, AppTime: 559},
+			{Approach: mapping.Place, Imbalance: 0.7, AppTime: 484},
+			{Approach: mapping.Profile, Imbalance: 0.68, AppTime: 460},
+		},
+		Baselines: []BaselineRow{{Approach: mapping.KCluster, Imbalance: 1.1, AppTime: 500, Lookahead: 5e-4}},
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/mapping"
+	"repro/internal/topogen"
+)
+
+// Bars renders label/value pairs as a horizontal ASCII bar chart — the
+// paper's figures are bar charts, and the terminal deserves the same view.
+func Bars(title string, labels []string, values []float64, width int) string {
+	if width <= 0 {
+		width = 40
+	}
+	max := 0.0
+	labelW := 0
+	for i, v := range values {
+		if v > max {
+			max = v
+		}
+		if len(labels[i]) > labelW {
+			labelW = len(labels[i])
+		}
+	}
+	var b strings.Builder
+	if title != "" {
+		b.WriteString(title + "\n")
+	}
+	for i, v := range values {
+		n := 0
+		if max > 0 {
+			n = int(v / max * float64(width))
+		}
+		fmt.Fprintf(&b, "%-*s %s %.3g\n", labelW, labels[i], strings.Repeat("█", n), v)
+	}
+	return b.String()
+}
+
+// SuiteBars renders one suite metric as grouped bars (one group per
+// topology, one bar per approach) — the shape of Figures 4-7 and 9-10.
+func SuiteBars(s *Suite, title string, val func(Cell) float64) string {
+	var labels []string
+	var values []float64
+	for _, topo := range []string{"Campus", "TeraGrid", "Brite"} {
+		for _, a := range mapping.Approaches() {
+			if c, ok := s.Get(topo, a); ok {
+				labels = append(labels, fmt.Sprintf("%s/%s", topo, a))
+				values = append(values, val(c))
+			}
+		}
+	}
+	return Bars(title, labels, values, 40)
+}
+
+// Fig3 renders the TeraGrid site architecture of the paper's Figure 3 as a
+// structural summary: sites, their router/host counts, and the backbone
+// attachment.
+func Fig3() string {
+	nw := topogen.TeraGrid()
+	type site struct {
+		routers, hosts int
+		hub            string
+	}
+	sites := map[string]*site{}
+	var order []string
+	for _, n := range nw.Nodes {
+		if n.Site == "" || n.Site == "backbone" {
+			continue
+		}
+		s, ok := sites[n.Site]
+		if !ok {
+			s = &site{}
+			sites[n.Site] = s
+			order = append(order, n.Site)
+		}
+		if n.Kind == 0 { // router
+			s.routers++
+		} else {
+			s.hosts++
+		}
+	}
+	// Hub attachment: the border router's backbone neighbor.
+	for _, l := range nw.Links {
+		a, b := nw.Nodes[l.A], nw.Nodes[l.B]
+		if a.Site == "backbone" && b.Site != "backbone" && b.Site != "" {
+			if s := sites[b.Site]; s != nil {
+				s.hub = a.Name
+			}
+		}
+		if b.Site == "backbone" && a.Site != "backbone" && a.Site != "" {
+			if s := sites[a.Site]; s != nil {
+				s.hub = b.Name
+			}
+		}
+	}
+	var sb strings.Builder
+	sb.WriteString("TeraGrid site architecture (Figure 3): 40 Gb/s backbone, two hubs\n")
+	for _, name := range order {
+		s := sites[name]
+		fmt.Fprintf(&sb, "  %-6s %d routers, %3d hosts  --40Gbps--> %s\n", name, s.routers, s.hosts, s.hub)
+	}
+	return sb.String()
+}

@@ -1,0 +1,129 @@
+package mapping
+
+import "repro/internal/metrics"
+
+// SegmentTimeline implements the paper's §3.3 clustering algorithm: it
+// splits an emulation's per-node load timeline into segments whose loads
+// become separate balance constraints of the multi-constraint partitioner.
+//
+// Steps, as described in the paper:
+//
+//  1. remove buckets that carry little traffic (they cannot contribute load
+//     imbalance worth balancing),
+//  2. smooth each node's load curve with a moving average,
+//  3. find the dominating (maximum-load) node of every bucket,
+//  4. split the timeline where the dominating node changes — those points
+//     mark major load-pattern shifts,
+//  5. merge slivers and cap the segment count (each segment costs one
+//     constraint in the partitioner).
+//
+// The result is a list of [first,last] bucket ranges (inclusive), in time
+// order, covering the retained buckets. A timeline with fewer than two
+// meaningful segments yields a single all-covering segment.
+func SegmentTimeline(series *metrics.Series, maxSegments int) [][2]int {
+	nb := series.Buckets()
+	if nb == 0 {
+		return nil
+	}
+	if maxSegments < 1 {
+		maxSegments = 4
+	}
+
+	// Step 1: identify low-traffic buckets. Threshold: 10% of the mean load
+	// of non-empty buckets.
+	totals := series.TotalPerBucket()
+	var sum float64
+	busyCount := 0
+	for _, t := range totals {
+		if t > 0 {
+			sum += t
+			busyCount++
+		}
+	}
+	if busyCount == 0 {
+		return [][2]int{{0, nb - 1}}
+	}
+	threshold := 0.10 * sum / float64(busyCount)
+	keep := make([]bool, nb)
+	for b, t := range totals {
+		keep[b] = t >= threshold
+	}
+
+	// Step 2: smooth ("a smooth load curve ... by calculating the average
+	// load of each node over a larger period of time").
+	smoothed := series.Smooth(5)
+
+	// Step 3: dominating node per kept bucket.
+	dom := smoothed.DominatingNode()
+
+	// Step 4: split where the dominating node changes, skipping dropped
+	// buckets entirely (they belong to no segment's constraint, but segment
+	// ranges still cover them for contiguity).
+	type seg struct {
+		first, last int
+		node        int
+		load        float64
+	}
+	var segs []seg
+	for b := 0; b < nb; b++ {
+		if !keep[b] {
+			continue
+		}
+		if len(segs) > 0 && segs[len(segs)-1].node == dom[b] {
+			segs[len(segs)-1].last = b
+			segs[len(segs)-1].load += totals[b]
+			continue
+		}
+		segs = append(segs, seg{first: b, last: b, node: dom[b], load: totals[b]})
+	}
+	if len(segs) == 0 {
+		return [][2]int{{0, nb - 1}}
+	}
+
+	// Step 5a: merge slivers (shorter than 3 buckets) into the
+	// lighter-loaded neighbor.
+	const minLen = 3
+	for i := 0; i < len(segs); {
+		if segs[i].last-segs[i].first+1 >= minLen || len(segs) == 1 {
+			i++
+			continue
+		}
+		if i == 0 {
+			segs[1].first = segs[0].first
+			segs[1].load += segs[0].load
+			segs = segs[1:]
+			continue
+		}
+		if i == len(segs)-1 || segs[i-1].load <= segs[i+1].load {
+			segs[i-1].last = segs[i].last
+			segs[i-1].load += segs[i].load
+			segs = append(segs[:i], segs[i+1:]...)
+			i--
+			continue
+		}
+		segs[i+1].first = segs[i].first
+		segs[i+1].load += segs[i].load
+		segs = append(segs[:i], segs[i+1:]...)
+	}
+
+	// Step 5b: cap the count by merging the adjacent pair with the smallest
+	// combined load until within budget.
+	for len(segs) > maxSegments {
+		best := 0
+		bestLoad := segs[0].load + segs[1].load
+		for i := 1; i < len(segs)-1; i++ {
+			if l := segs[i].load + segs[i+1].load; l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		segs[best].last = segs[best+1].last
+		segs[best].load += segs[best+1].load
+		segs = append(segs[:best+1], segs[best+2:]...)
+	}
+
+	out := make([][2]int, len(segs))
+	for i, s := range segs {
+		out[i] = [2]int{s.first, s.last}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// seriesWith builds a series where node dominance follows the given plan:
+// plan[b] = dominating node for bucket b (-1 = idle bucket).
+func seriesWith(plan []int, nodes int) *metrics.Series {
+	s := metrics.NewSeries(2, nodes, len(plan))
+	for b, d := range plan {
+		if d < 0 {
+			continue
+		}
+		for n := 0; n < nodes; n++ {
+			s.Loads[b][n] = 10
+		}
+		s.Loads[b][d] = 100
+	}
+	return s
+}
+
+func TestSegmentTimelineEmpty(t *testing.T) {
+	if got := SegmentTimeline(metrics.NewSeries(2, 3, 0), 4); got != nil {
+		t.Errorf("empty series -> %v, want nil", got)
+	}
+	// All-idle series: one covering segment.
+	got := SegmentTimeline(metrics.NewSeries(2, 3, 5), 4)
+	if len(got) != 1 || got[0] != [2]int{0, 4} {
+		t.Errorf("idle series -> %v, want one covering segment", got)
+	}
+}
+
+func TestSegmentTimelineSingleDominator(t *testing.T) {
+	plan := make([]int, 20)
+	for b := range plan {
+		plan[b] = 1
+	}
+	got := SegmentTimeline(seriesWith(plan, 3), 4)
+	if len(got) != 1 {
+		t.Errorf("constant dominator -> %d segments, want 1: %v", len(got), got)
+	}
+}
+
+func TestSegmentTimelineSplitsOnDominatorChange(t *testing.T) {
+	// Node 0 dominates buckets 0-9, node 2 dominates 10-19.
+	plan := make([]int, 20)
+	for b := 10; b < 20; b++ {
+		plan[b] = 2
+	}
+	got := SegmentTimeline(seriesWith(plan, 3), 4)
+	if len(got) != 2 {
+		t.Fatalf("got %d segments (%v), want 2", len(got), got)
+	}
+	// The split point should be near bucket 10 (smoothing may shift it
+	// slightly).
+	if got[0][1] < 7 || got[0][1] > 12 {
+		t.Errorf("split at %d, want near 10", got[0][1])
+	}
+}
+
+func TestSegmentTimelineDropsLowTraffic(t *testing.T) {
+	// Busy start, long idle middle, busy end with a different dominator.
+	plan := make([]int, 30)
+	for b := 0; b < 10; b++ {
+		plan[b] = 0
+	}
+	for b := 10; b < 20; b++ {
+		plan[b] = -1 // idle
+	}
+	for b := 20; b < 30; b++ {
+		plan[b] = 1
+	}
+	got := SegmentTimeline(seriesWith(plan, 2), 4)
+	if len(got) != 2 {
+		t.Fatalf("got %v, want 2 segments around the idle gap", got)
+	}
+}
+
+func TestSegmentTimelineMergesSlivers(t *testing.T) {
+	// A 1-bucket blip of node 1 inside node 0's reign must not survive as
+	// its own segment.
+	plan := make([]int, 20)
+	plan[10] = 1
+	got := SegmentTimeline(seriesWith(plan, 2), 4)
+	for _, seg := range got {
+		if seg[1]-seg[0]+1 < 3 && len(got) > 1 {
+			t.Errorf("sliver segment survived: %v", got)
+		}
+	}
+}
+
+func TestSegmentTimelineCap(t *testing.T) {
+	// Dominator alternates every 4 buckets among 6 nodes -> many segments;
+	// cap at 3.
+	plan := make([]int, 48)
+	for b := range plan {
+		plan[b] = (b / 4) % 6
+	}
+	got := SegmentTimeline(seriesWith(plan, 6), 3)
+	if len(got) > 3 {
+		t.Errorf("cap violated: %d segments", len(got))
+	}
+	// Segments must be ordered and non-overlapping.
+	for i := 1; i < len(got); i++ {
+		if got[i][0] <= got[i-1][1] {
+			t.Errorf("segments overlap or disordered: %v", got)
+		}
+	}
+}
+
+func TestSegmentTimelineDefaultCap(t *testing.T) {
+	plan := make([]int, 40)
+	for b := range plan {
+		plan[b] = (b / 5) % 4
+	}
+	got := SegmentTimeline(seriesWith(plan, 4), 0) // 0 -> default 4
+	if len(got) > 4 {
+		t.Errorf("default cap violated: %d segments", len(got))
+	}
+}

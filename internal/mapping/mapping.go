@@ -1,0 +1,531 @@
+// Package mapping implements the paper's three network-mapping approaches —
+// the heart of its contribution (§3):
+//
+//   - TOP (§3.1): topology only. Vertex weight is the total bandwidth in and
+//     out of the node; the single objective maximizes link latency across
+//     partitions (encoded as minimizing a cut whose edge weights fall with
+//     latency).
+//   - PLACE (§3.2): topology plus application placement. Background traffic
+//     is predicted from the generators' own specifications, foreground
+//     traffic from the application's injection points assuming full access-
+//     link utilization spread evenly over all peers; routes come from the
+//     emulated traceroute. Enables the second objective (minimize traffic
+//     across partitions) via multi-objective combination.
+//   - PROFILE (§3.3): NetFlow profile data from a prior run supplies exact
+//     per-link and per-node loads; optionally the emulation timeline is
+//     clustered into segments at dominating-node changes and each segment
+//     becomes an extra balance constraint (multi-constraint partitioning).
+//
+// All three reduce to inputs for the multilevel partitioner in
+// internal/partition.
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/netflow"
+	"repro/internal/netgraph"
+	"repro/internal/partition"
+	"repro/internal/traffic"
+)
+
+// Approach names one of the paper's three mapping strategies.
+type Approach string
+
+// The three approaches evaluated in the paper.
+const (
+	Top     Approach = "TOP"
+	Place   Approach = "PLACE"
+	Profile Approach = "PROFILE"
+)
+
+// Approaches lists all three in the paper's presentation order.
+func Approaches() []Approach { return []Approach{Top, Place, Profile} }
+
+// DefaultLatencyPriority is the paper's default latency:traffic priority
+// ratio of 6:4 (§5: "the default latency/traffic priority ratio is 6:4").
+const DefaultLatencyPriority = 0.6
+
+// Input carries everything a mapping approach may need. TOP uses only the
+// network; PLACE additionally uses Background and AppHosts; PROFILE uses
+// Summary (and Cluster).
+type Input struct {
+	// Network is the virtual topology. Required.
+	Network *netgraph.Network
+	// Routes is the routing table; built on demand when nil.
+	Routes netgraph.Routing
+	// K is the number of simulation-engine nodes. Required.
+	K int
+	// PartOpts tunes the underlying partitioner (seed, imbalance, ...).
+	PartOpts partition.Options
+	// LatencyPriority is the multi-objective weight p of the latency
+	// objective; defaults to DefaultLatencyPriority.
+	LatencyPriority float64
+	// MTUBytes converts predicted byte rates into packet rates; default 1500.
+	MTUBytes float64
+	// InjectionCapBps caps PLACE's assumed per-injection-point bandwidth
+	// ("the application fully utilizes the network link at each injection
+	// point"): a 2003-era node drives at most Fast-Ethernet rates no matter
+	// how fat its access link is. Default 100 Mb/s.
+	InjectionCapBps float64
+
+	// Background is the predicted background traffic (PLACE), typically
+	// HTTPSpec.Predict output.
+	Background []traffic.PairRate
+	// AppHosts are the foreground application's injection points (PLACE).
+	AppHosts []int
+	// DiscoveredRoutes optionally supplies traceroute-discovered link paths
+	// per ordered endpoint pair (emu.DiscoverRoutes output). When a pair is
+	// present PLACE aggregates its predicted traffic over these links; pairs
+	// not covered fall back to the routing table (identical paths under
+	// static routing, but discovery exercises the paper's actual ICMP
+	// mechanism and costs emulation load).
+	DiscoveredRoutes map[[2]int][]int
+
+	// Summary is the NetFlow aggregation from a profiling run (PROFILE).
+	Summary *netflow.Summary
+	// Cluster enables the §3.3 timeline clustering, turning emulation
+	// stages into extra balance constraints (PROFILE).
+	Cluster bool
+	// MaxSegments caps the clustering constraints; default 4.
+	MaxSegments int
+	// EngineFractions optionally targets heterogeneous engine capacities:
+	// engine p should receive EngineFractions[p] of the load (normalized
+	// internally). Copied into the partitioner's PartFractions. This is the
+	// §5 gap ("currently assumes homogeneous physical resources") closed.
+	EngineFractions []float64
+}
+
+func (in *Input) defaults() error {
+	if in.Network == nil {
+		return fmt.Errorf("mapping: Network is required")
+	}
+	if in.K < 1 {
+		return fmt.Errorf("mapping: K = %d, must be >= 1", in.K)
+	}
+	if in.Routes == nil {
+		in.Routes = in.Network.BuildRoutingTable()
+	}
+	if in.LatencyPriority <= 0 || in.LatencyPriority >= 1 {
+		in.LatencyPriority = DefaultLatencyPriority
+	}
+	if in.MTUBytes <= 0 {
+		in.MTUBytes = 1500
+	}
+	if in.InjectionCapBps <= 0 {
+		in.InjectionCapBps = 100e6
+	}
+	if in.MaxSegments <= 0 {
+		in.MaxSegments = 4
+	}
+	// Mapping quality matters more than mapping speed here (the paper's
+	// partitions are computed offline); spend more partitioner effort than
+	// the library defaults.
+	if in.PartOpts.Restarts == 0 {
+		in.PartOpts.Restarts = 20
+	}
+	if in.PartOpts.RefinePasses == 0 {
+		in.PartOpts.RefinePasses = 16
+	}
+	if len(in.EngineFractions) == in.K && in.PartOpts.PartFractions == nil {
+		var sum float64
+		for _, f := range in.EngineFractions {
+			sum += f
+		}
+		if sum > 0 {
+			frac := make([]float64, in.K)
+			for p, f := range in.EngineFractions {
+				frac[p] = f / sum
+			}
+			in.PartOpts.PartFractions = frac
+		}
+	}
+	// A slightly loose ceiling lands better final balance than a tight one:
+	// with ε=0.05 the refiner rejects moves into near-full parts and wedges
+	// early; ε=0.10 lets load flow and converges closer to even.
+	if in.PartOpts.Imbalance == 0 {
+		in.PartOpts.Imbalance = 0.10
+	}
+	return nil
+}
+
+// Map dispatches to the named approach.
+func Map(a Approach, in Input) ([]int, error) {
+	switch a {
+	case Top:
+		return TopMap(in)
+	case Place:
+		return PlaceMap(in)
+	case Profile:
+		return ProfileMap(in)
+	default:
+		return nil, fmt.Errorf("mapping: unknown approach %q", a)
+	}
+}
+
+// baseGraph builds the partition graph skeleton: one vertex per network
+// node, one edge per link (parallel links merge), ncon constraints with all
+// weights zeroed for the caller to fill.
+func baseGraph(nw *netgraph.Network, ncon int) *partition.Graph {
+	g := partition.NewGraph(nw.NumNodes(), ncon)
+	for v := 0; v < nw.NumNodes(); v++ {
+		for c := 0; c < ncon; c++ {
+			g.VWgt[v][c] = 0
+		}
+	}
+	for _, l := range nw.Links {
+		g.AddEdge(l.A, l.B, 0)
+	}
+	return g
+}
+
+// latencyWeights encodes "maximize cut latency" as a minimization: an edge's
+// weight is inversely proportional to its (merged) minimum latency, so the
+// partitioner prefers cutting long-haul links and keeps low-latency LAN
+// links together — the DaSSF/MaSSF convention.
+func latencyWeights(nw *netgraph.Network, g *partition.Graph) partition.EdgeWeightSet {
+	// Minimum latency per merged edge.
+	minLat := make(map[[2]int]float64)
+	for _, l := range nw.Links {
+		k := edgeKey(l.A, l.B)
+		if cur, ok := minLat[k]; !ok || l.Latency < cur {
+			minLat[k] = l.Latency
+		}
+	}
+	ws := partition.NewEdgeWeightSet(g)
+	const scale = 10e-3 // a 10 ms link weighs 1; a 0.1 ms link weighs 100
+	for k, lat := range minLat {
+		w := int64(1)
+		if lat > 0 {
+			w = int64(math.Round(scale / lat))
+			if w < 1 {
+				w = 1
+			}
+		} else {
+			w = 1000 // zero-latency: never cut if avoidable
+		}
+		ws.SetSymmetric(g, k[0], k[1], w)
+	}
+	return ws
+}
+
+func edgeKey(a, b int) [2]int {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int{a, b}
+}
+
+// memoryWeights fills the given constraint with the paper's memory model:
+// routers cost 10 + x² (x = AS router count), hosts 10.
+func memoryWeights(nw *netgraph.Network, g *partition.Graph, con int) {
+	asr := nw.ASRouterCount()
+	for v := 0; v < nw.NumNodes(); v++ {
+		g.VWgt[v][con] = nw.MemoryWeight(v, asr)
+	}
+}
+
+// mappingTrials is the number of independently seeded partitioner runs each
+// approach performs, keeping the candidate with the best balance on its own
+// weights (then lowest cut). This mirrors METIS's internal multi-restart
+// behavior; crucially, every approach scores candidates only with the
+// information it legitimately has — TOP with bandwidth weights, PLACE with
+// predicted load, PROFILE with measured load.
+const mappingTrials = 5
+
+// selectBest runs the partition function for mappingTrials seeds and keeps
+// the candidate with the smallest max-norm balance violation on g's
+// constraints, breaking ties toward the lower cut under cutWeights.
+func selectBest(g *partition.Graph, cutWeights partition.EdgeWeightSet, k int, opts partition.Options,
+	run func(partition.Options) ([]int, error)) ([]int, error) {
+
+	var best []int
+	var bestBal float64
+	var bestCut int64
+	for trial := 0; trial < mappingTrials; trial++ {
+		o := opts
+		o.Seed = opts.Seed + int64(trial)*7919
+		part, err := run(o)
+		if err != nil {
+			return nil, err
+		}
+		bal := 0.0
+		for _, b := range partition.Balance(g, part, k) {
+			if b > bal {
+				bal = b
+			}
+		}
+		cut := partition.CutWeightOf(g, cutWeights, part)
+		if best == nil || bal < bestBal-1e-9 || (math.Abs(bal-bestBal) <= 1e-9 && cut < bestCut) {
+			best, bestBal, bestCut = part, bal, cut
+		}
+	}
+	return best, nil
+}
+
+// TopMap implements the topology-based approach (§3.1).
+func TopMap(in Input) ([]int, error) {
+	if err := in.defaults(); err != nil {
+		return nil, err
+	}
+	nw := in.Network
+	g := baseGraph(nw, 2)
+	// Constraint 0: total bandwidth in/out of the node, in Mb/s.
+	for v := 0; v < nw.NumNodes(); v++ {
+		w := int64(math.Round(nw.TotalBandwidth(v) / 1e6))
+		if w < 1 {
+			w = 1
+		}
+		g.VWgt[v][0] = w
+	}
+	memoryWeights(nw, g, 1)
+	lat := latencyWeights(nw, g)
+	gl := g.WithWeights(lat)
+	part, err := selectBest(g, lat, in.K, in.PartOpts, func(o partition.Options) ([]int, error) {
+		return partition.Partition(gl, in.K, o)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapping: TOP: %w", err)
+	}
+	return part, nil
+}
+
+// predictedLinkLoad accumulates PLACE's traffic estimate per link, in
+// packets per second: the background pair rates plus the foreground
+// injection-point model, both routed with the emulated traceroute-discovered
+// paths (which, for static routing, equal the routing-table paths).
+func predictedLinkLoad(in *Input) map[int]float64 {
+	nw := in.Network
+	load := make(map[int]float64)
+	addPair := func(src, dst int, bytesPerSec float64) {
+		// Route discovery via the ICMP/traceroute emulation (§3.2) when its
+		// results were provided; otherwise the routing-table walk (equal
+		// paths under static routing).
+		links, ok := in.DiscoveredRoutes[[2]int{src, dst}]
+		if !ok {
+			links = nw.RouteLinks(in.Routes, src, dst)
+		}
+		for _, lid := range links {
+			load[lid] += bytesPerSec / in.MTUBytes
+		}
+	}
+	for _, p := range in.Background {
+		addPair(p.Src, p.Dst, p.BytesPerSecond)
+	}
+	// Foreground: "the application fully utilizes the network link at each
+	// injection point and every node talks to all other nodes with evenly
+	// distributed bandwidth" (§3.2). Every injection point is modeled at the
+	// same NIC-rate utilization (InjectionCapBps): the application pushes
+	// its communication volume regardless of how slow the access link is —
+	// a slower link only stretches the transfer, not the packet count the
+	// engine must process.
+	n := len(in.AppHosts)
+	if n > 1 {
+		perPeer := in.InjectionCapBps / 8 / float64(n-1)
+		for _, src := range in.AppHosts {
+			for _, dst := range in.AppHosts {
+				if dst != src {
+					addPair(src, dst, perPeer)
+				}
+			}
+		}
+	}
+	return load
+}
+
+// trafficEdgeWeights converts per-link loads (packets/s or packets) into the
+// bandwidth objective's edge weights.
+func trafficEdgeWeights(nw *netgraph.Network, g *partition.Graph, load map[int]float64) partition.EdgeWeightSet {
+	// Merge parallel links.
+	merged := make(map[[2]int]float64)
+	for _, l := range nw.Links {
+		merged[edgeKey(l.A, l.B)] += load[l.ID]
+	}
+	ws := partition.NewEdgeWeightSet(g)
+	for k, v := range merged {
+		ws.SetSymmetric(g, k[0], k[1], int64(math.Round(v)))
+	}
+	return ws
+}
+
+// nodeThroughLoad estimates the compute weight of each node from per-link
+// loads: the paper's "maximal bipartition flow of all traffic flowing
+// through a network node" is approximated by half the total traffic on the
+// node's incident links (exact for pure transit nodes).
+func nodeThroughLoad(nw *netgraph.Network, load map[int]float64) []float64 {
+	out := make([]float64, nw.NumNodes())
+	for _, l := range nw.Links {
+		out[l.A] += load[l.ID] / 2
+		out[l.B] += load[l.ID] / 2
+	}
+	return out
+}
+
+// PlaceMap implements the application-placement approach (§3.2).
+func PlaceMap(in Input) ([]int, error) {
+	if err := in.defaults(); err != nil {
+		return nil, err
+	}
+	nw := in.Network
+	load := predictedLinkLoad(&in)
+
+	g := baseGraph(nw, 2)
+	through := nodeThroughLoad(nw, load)
+	for v := 0; v < nw.NumNodes(); v++ {
+		w := int64(math.Round(through[v]))
+		if w < 1 {
+			w = 1
+		}
+		g.VWgt[v][0] = w
+	}
+	memoryWeights(nw, g, 1)
+
+	lat := latencyWeights(nw, g)
+	bw := trafficEdgeWeights(nw, g, load)
+	part, err := selectBest(g, bw, in.K, in.PartOpts, func(o partition.Options) ([]int, error) {
+		p, _, err := partition.MultiObjective(
+			g,
+			[]partition.EdgeWeightSet{lat, bw},
+			[]float64{in.LatencyPriority, 1 - in.LatencyPriority},
+			in.K, o,
+		)
+		return p, err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapping: PLACE: %w", err)
+	}
+	return part, nil
+}
+
+// profileGraph builds the PROFILE partitioning instance: the graph with
+// measured load (or clustered per-segment) constraints plus memory, and the
+// latency/traffic edge-weight objectives. Shared by ProfileMap and
+// ProfileImprove.
+func profileGraph(in *Input) (*partition.Graph, partition.EdgeWeightSet, partition.EdgeWeightSet, error) {
+	if in.Summary == nil {
+		return nil, nil, nil, fmt.Errorf("mapping: PROFILE requires a NetFlow summary")
+	}
+	nw := in.Network
+	if len(in.Summary.NodePackets) != nw.NumNodes() {
+		return nil, nil, nil, fmt.Errorf("mapping: summary covers %d nodes, network has %d",
+			len(in.Summary.NodePackets), nw.NumNodes())
+	}
+
+	// Measured per-link load (packets over the profiled run).
+	load := make(map[int]float64, len(in.Summary.LinkPackets))
+	for l, p := range in.Summary.LinkPackets {
+		load[l] = float64(p)
+	}
+
+	// Balance constraints: either the measured total load per node, or one
+	// constraint per clustered emulation segment — plus memory, always last.
+	var segments [][2]int
+	if in.Cluster && in.Summary.NodeSeries != nil {
+		segments = SegmentTimeline(in.Summary.NodeSeries, in.MaxSegments)
+	}
+	ncon := 1 + 1 // total load + memory
+	if len(segments) > 1 {
+		ncon = len(segments) + 1
+	}
+	g := baseGraph(nw, ncon)
+
+	if len(segments) > 1 {
+		series := in.Summary.NodeSeries
+		for s, seg := range segments {
+			for b := seg[0]; b <= seg[1]; b++ {
+				for v := 0; v < nw.NumNodes(); v++ {
+					g.VWgt[v][s] += int64(math.Round(series.Loads[b][v]))
+				}
+			}
+		}
+		// Guarantee a connected positive weight so empty segments don't
+		// destabilize balance bookkeeping.
+		for v := 0; v < nw.NumNodes(); v++ {
+			for s := 0; s < len(segments); s++ {
+				if g.VWgt[v][s] < 0 {
+					g.VWgt[v][s] = 0
+				}
+			}
+		}
+	} else {
+		for v := 0; v < nw.NumNodes(); v++ {
+			w := in.Summary.NodePackets[v]
+			if w < 1 {
+				w = 1
+			}
+			g.VWgt[v][0] = w
+		}
+	}
+	memoryWeights(nw, g, ncon-1)
+
+	lat := latencyWeights(nw, g)
+	bw := trafficEdgeWeights(nw, g, load)
+	return g, lat, bw, nil
+}
+
+// ProfileMap implements the profile-based approach (§3.3).
+func ProfileMap(in Input) ([]int, error) {
+	if err := in.defaults(); err != nil {
+		return nil, err
+	}
+	g, lat, bw, err := profileGraph(&in)
+	if err != nil {
+		return nil, err
+	}
+	part, err := selectBest(g, bw, in.K, in.PartOpts, func(o partition.Options) ([]int, error) {
+		p, _, err := partition.MultiObjective(
+			g,
+			[]partition.EdgeWeightSet{lat, bw},
+			[]float64{in.LatencyPriority, 1 - in.LatencyPriority},
+			in.K, o,
+		)
+		return p, err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("mapping: PROFILE: %w", err)
+	}
+	return part, nil
+}
+
+// ProfileImprove is the incremental variant of ProfileMap for dynamic
+// remapping: instead of repartitioning from scratch — which reassigns many
+// nodes and therefore costs many migrations — it refines the previous
+// assignment under the new profile's weights. Returns the improved
+// assignment (a fresh slice) and the number of nodes that changed engines.
+func ProfileImprove(in Input, previous []int) ([]int, int, error) {
+	if err := in.defaults(); err != nil {
+		return nil, 0, err
+	}
+	g, lat, bw, err := profileGraph(&in)
+	if err != nil {
+		return nil, 0, err
+	}
+	combined, _, err := partition.CombineObjectives(
+		g,
+		[]partition.EdgeWeightSet{lat, bw},
+		[]float64{in.LatencyPriority, 1 - in.LatencyPriority},
+		in.K, in.PartOpts,
+	)
+	if err != nil {
+		return nil, 0, fmt.Errorf("mapping: PROFILE improve: %w", err)
+	}
+	part := append([]int(nil), previous...)
+	moved, err := partition.Improve(g.WithWeights(combined), part, in.K, in.PartOpts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("mapping: PROFILE improve: %w", err)
+	}
+	return part, moved, nil
+}
+
+// PredictMemory returns the per-engine memory requirement of an assignment
+// under the paper's model — the quantity its §5 future-work loop would
+// monitor before deciding to repartition with a heavier memory weight.
+func PredictMemory(nw *netgraph.Network, assignment []int, k int) []int64 {
+	asr := nw.ASRouterCount()
+	out := make([]int64, k)
+	for v, e := range assignment {
+		out[e] += nw.MemoryWeight(v, asr)
+	}
+	return out
+}

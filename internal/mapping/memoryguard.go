@@ -1,0 +1,81 @@
+package mapping
+
+import (
+	"fmt"
+)
+
+// GuardedResult reports a memory-guarded mapping.
+type GuardedResult struct {
+	// Assignment is the accepted partition.
+	Assignment []int
+	// Memory is the predicted per-engine memory under the paper's model.
+	Memory []int64
+	// Attempts is how many partition rounds were needed.
+	Attempts int
+	// Fits reports whether the final partition respects the capacity; when
+	// false the best-effort assignment with the lowest peak memory is
+	// returned anyway.
+	Fits bool
+}
+
+// MapWithMemoryGuard implements the automatic adjustment loop the paper
+// sketches as future work in §5: "given a partition, MaSSF can predict more
+// accurate memory requirements on every simulation engine node. If the
+// memory imbalance will hurt performance or correctness, then it can adjust
+// the memory weight and repartition automatically."
+//
+// Each engine has capacity memory units (the paper's model: hosts cost 10,
+// routers 10 + x² with x the AS router count). After mapping, the predicted
+// per-engine memory is checked; on overflow the partitioner re-runs with a
+// progressively tighter balance tolerance — the practical effect of raising
+// the memory constraint's priority — until the partition fits or the
+// tolerance bottoms out.
+func MapWithMemoryGuard(a Approach, in Input, capacity int64, maxAttempts int) (*GuardedResult, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("mapping: memory guard: capacity must be positive")
+	}
+	if maxAttempts <= 0 {
+		maxAttempts = 4
+	}
+	if err := in.defaults(); err != nil {
+		return nil, err
+	}
+
+	best := &GuardedResult{}
+	var bestPeak int64 = -1
+	tol := in.PartOpts.Imbalance
+	for attempt := 1; attempt <= maxAttempts; attempt++ {
+		in.PartOpts.Imbalance = tol
+		part, err := MapAny(a, in)
+		if err != nil {
+			return nil, err
+		}
+		mem := PredictMemory(in.Network, part, in.K)
+		peak := int64(0)
+		for _, m := range mem {
+			if m > peak {
+				peak = m
+			}
+		}
+		if bestPeak < 0 || peak < bestPeak {
+			best = &GuardedResult{Assignment: part, Memory: mem, Attempts: attempt}
+			bestPeak = peak
+		}
+		if peak <= capacity {
+			best.Fits = true
+			best.Attempts = attempt
+			best.Assignment = part
+			best.Memory = mem
+			return best, nil
+		}
+		// Tighten: halve the tolerance (floor 1%) and try again.
+		tol /= 2
+		if tol < 0.01 {
+			tol = 0.01
+		}
+		// Vary the seed so a stuck local minimum is not replayed verbatim.
+		in.PartOpts.Seed += 104729
+	}
+	best.Fits = false
+	return best, nil
+}

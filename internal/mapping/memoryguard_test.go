@@ -1,0 +1,75 @@
+package mapping
+
+import (
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/topogen"
+)
+
+func TestMapWithMemoryGuardFits(t *testing.T) {
+	nw := topogen.Campus() // total memory 8600; 3 engines -> avg ~2867
+	in := Input{Network: nw, K: 3, PartOpts: partition.Options{Seed: 1}}
+	res, err := MapWithMemoryGuard(Top, in, 4000, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Fits {
+		t.Fatalf("capacity 4000 not satisfiable: memory %v", res.Memory)
+	}
+	for e, m := range res.Memory {
+		if m > 4000 {
+			t.Errorf("engine %d memory %d exceeds capacity", e, m)
+		}
+	}
+	if err := validPartition(nw.NumNodes(), res.Assignment, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapWithMemoryGuardTightens(t *testing.T) {
+	// A capacity just above the per-engine average forces the guard to
+	// tighten; it either fits (possibly after retries) or reports its best.
+	nw := topogen.Campus()
+	in := Input{Network: nw, K: 3, PartOpts: partition.Options{Seed: 1, Imbalance: 0.4}}
+	res, err := MapWithMemoryGuard(Top, in, 3100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Attempts < 1 {
+		t.Error("no attempts recorded")
+	}
+	peak := int64(0)
+	for _, m := range res.Memory {
+		if m > peak {
+			peak = m
+		}
+	}
+	if res.Fits && peak > 3100 {
+		t.Errorf("claims fit but peak %d > 3100", peak)
+	}
+}
+
+func TestMapWithMemoryGuardImpossible(t *testing.T) {
+	// Capacity below total/k can never fit; the guard must report Fits=false
+	// with its best effort, not loop forever.
+	nw := topogen.Campus()
+	in := Input{Network: nw, K: 3, PartOpts: partition.Options{Seed: 1}}
+	res, err := MapWithMemoryGuard(Top, in, 100, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fits {
+		t.Error("impossible capacity reported as fitting")
+	}
+	if res.Assignment == nil {
+		t.Error("no best-effort assignment returned")
+	}
+}
+
+func TestMapWithMemoryGuardValidation(t *testing.T) {
+	nw := topogen.Campus()
+	if _, err := MapWithMemoryGuard(Top, Input{Network: nw, K: 3}, 0, 3); err == nil {
+		t.Error("zero capacity accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package netflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadDump: the NetFlow dump parser must never panic; accepted records
+// must round-trip through WriteDump.
+func FuzzReadDump(f *testing.F) {
+	f.Add("# header\n0 1 2 3 4 5 6 7.5 8.5\n")
+	f.Add("0 0 0 0 -1 10 15000 0 0\n")
+	f.Add("\n\n# only comments\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		recs, err := ReadDump(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteDump(&buf, recs); err != nil {
+			t.Fatalf("serialize: %v", err)
+		}
+		back, err := ReadDump(&buf)
+		if err != nil {
+			t.Fatalf("round trip: %v", err)
+		}
+		if len(back) != len(recs) {
+			t.Fatalf("round trip changed record count")
+		}
+		for i := range recs {
+			if back[i] != recs[i] {
+				t.Fatalf("record %d changed: %+v -> %+v", i, recs[i], back[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,295 @@
+// Package netflow implements the Cisco-NetFlow-like traffic accounting the
+// paper builds into every emulated router (§3.3): per-router flow records
+// with packet counts, durations and byte volumes, dump-file serialization,
+// and the aggregation queries the PROFILE mapping consumes — per-link and
+// per-node traffic totals plus bucketed per-node load series.
+//
+// As in MaSSF, bandwidth is measured in packets rather than bytes, "since
+// the real load in the emulator depends on the number of packets it
+// processes".
+package netflow
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// Record is one (router, flow) accounting entry.
+type Record struct {
+	// Node is the router/host that observed the flow.
+	Node int
+	// FlowID identifies the flow within the workload.
+	FlowID int
+	// Src and Dst are the flow's endpoints.
+	Src, Dst int
+	// InLink is the link the traffic arrived on (-1 at the source host).
+	InLink int
+	// Packets and Bytes observed at this node for this flow.
+	Packets int64
+	Bytes   int64
+	// First and Last are the observation window in virtual seconds.
+	First, Last float64
+}
+
+// Collector accumulates flow records during an emulation run. One collector
+// services all engines; records are keyed by (node, flow, inlink) and nodes
+// are owned by exactly one engine, so updates are data-race-free by
+// construction.
+type Collector struct {
+	// BucketWidth is the granularity of the per-node load series (the
+	// "granularity of the NetFlow" tuning knob; default 2s, matching the
+	// paper's fine-grained measurement interval).
+	BucketWidth float64
+	// perNode[n] maps flow key to the record index in records[n].
+	perNode []map[flowKey]int
+	records [][]Record
+	// series is the bucketed per-node kernel-event load.
+	series *metrics.Series
+}
+
+type flowKey struct {
+	flow   int
+	inLink int
+}
+
+// NewCollector creates a collector for numNodes nodes covering duration
+// seconds at the given bucket width.
+func NewCollector(numNodes int, duration, bucketWidth float64) *Collector {
+	if bucketWidth <= 0 {
+		bucketWidth = 2
+	}
+	buckets := int(duration/bucketWidth) + 1
+	if buckets < 1 {
+		buckets = 1
+	}
+	c := &Collector{
+		BucketWidth: bucketWidth,
+		perNode:     make([]map[flowKey]int, numNodes),
+		records:     make([][]Record, numNodes),
+		series:      metrics.NewSeries(bucketWidth, numNodes, buckets),
+	}
+	for n := range c.perNode {
+		c.perNode[n] = make(map[flowKey]int)
+	}
+	return c
+}
+
+// Observe accounts packets of a flow passing through node at time t having
+// arrived over inLink (-1 at the flow source).
+func (c *Collector) Observe(node, flowID, src, dst, inLink int, packets, bytes int64, t float64) {
+	key := flowKey{flow: flowID, inLink: inLink}
+	idx, ok := c.perNode[node][key]
+	if !ok {
+		idx = len(c.records[node])
+		c.records[node] = append(c.records[node], Record{
+			Node: node, FlowID: flowID, Src: src, Dst: dst, InLink: inLink,
+			First: t, Last: t,
+		})
+		c.perNode[node][key] = idx
+	}
+	r := &c.records[node][idx]
+	r.Packets += packets
+	r.Bytes += bytes
+	if t < r.First {
+		r.First = t
+	}
+	if t > r.Last {
+		r.Last = t
+	}
+	c.series.Add(t, node, float64(packets))
+}
+
+// Records returns all accumulated records in deterministic order (node, then
+// insertion order).
+func (c *Collector) Records() []Record {
+	var out []Record
+	for n := range c.records {
+		out = append(out, c.records[n]...)
+	}
+	return out
+}
+
+// Series returns the bucketed per-node kernel-event load collected so far.
+func (c *Collector) Series() *metrics.Series { return c.series }
+
+// Summary is the aggregated view of a profiling run that the PROFILE mapping
+// consumes.
+type Summary struct {
+	// LinkPackets[l] is the total packets carried by link l (both
+	// directions).
+	LinkPackets map[int]int64
+	// NodePackets[n] is the total kernel-event load (packets processed) of
+	// node n.
+	NodePackets []int64
+	// NodeSeries is the bucketed per-node load.
+	NodeSeries *metrics.Series
+}
+
+// Summarize aggregates the collector into per-link and per-node totals.
+func (c *Collector) Summarize() *Summary {
+	s := &Summary{
+		LinkPackets: make(map[int]int64),
+		NodePackets: make([]int64, len(c.records)),
+		NodeSeries:  c.series,
+	}
+	for n := range c.records {
+		for _, r := range c.records[n] {
+			s.NodePackets[n] += r.Packets
+			if r.InLink >= 0 {
+				s.LinkPackets[r.InLink] += r.Packets
+			}
+		}
+	}
+	return s
+}
+
+// ---- Dump-file serialization ----
+//
+// The dump format is one record per line:
+//
+//	node flow src dst inlink packets bytes first last
+//
+// matching the paper's description of per-router local dump files that are
+// parsed offline to compute aggregated traffic.
+
+// WriteDump serializes records to w.
+func WriteDump(w io.Writer, records []Record) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "# node flow src dst inlink packets bytes first last"); err != nil {
+		return err
+	}
+	for _, r := range records {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %d %d %d %.17g %.17g\n",
+			r.Node, r.FlowID, r.Src, r.Dst, r.InLink, r.Packets, r.Bytes, r.First, r.Last); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadDump parses a dump produced by WriteDump.
+func ReadDump(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var out []Record
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		f := strings.Fields(line)
+		if len(f) != 9 {
+			return nil, fmt.Errorf("netflow: line %d: %d fields, want 9", lineNo, len(f))
+		}
+		var rec Record
+		var err error
+		ints := []*int{&rec.Node, &rec.FlowID, &rec.Src, &rec.Dst, &rec.InLink}
+		for i, p := range ints {
+			*p, err = strconv.Atoi(f[i])
+			if err != nil {
+				return nil, fmt.Errorf("netflow: line %d field %d: %v", lineNo, i+1, err)
+			}
+		}
+		if rec.Packets, err = strconv.ParseInt(f[5], 10, 64); err != nil {
+			return nil, fmt.Errorf("netflow: line %d packets: %v", lineNo, err)
+		}
+		if rec.Bytes, err = strconv.ParseInt(f[6], 10, 64); err != nil {
+			return nil, fmt.Errorf("netflow: line %d bytes: %v", lineNo, err)
+		}
+		if rec.First, err = strconv.ParseFloat(f[7], 64); err != nil {
+			return nil, fmt.Errorf("netflow: line %d first: %v", lineNo, err)
+		}
+		if rec.Last, err = strconv.ParseFloat(f[8], 64); err != nil {
+			return nil, fmt.Errorf("netflow: line %d last: %v", lineNo, err)
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// SummarizeRecords aggregates parsed dump records (the offline path: parse
+// dump files, then compute aggregated traffic). numNodes must cover every
+// node ID in records; the series is rebuilt by spreading each record's
+// packets uniformly over its [First, Last] span at the given bucket width —
+// the granularity information a NetFlow dump retains.
+func SummarizeRecords(records []Record, numNodes int, duration, bucketWidth float64) *Summary {
+	if bucketWidth <= 0 {
+		bucketWidth = 2
+	}
+	buckets := int(duration/bucketWidth) + 1
+	if buckets < 1 {
+		buckets = 1
+	}
+	s := &Summary{
+		LinkPackets: make(map[int]int64),
+		NodePackets: make([]int64, numNodes),
+		NodeSeries:  metrics.NewSeries(bucketWidth, numNodes, buckets),
+	}
+	for _, r := range records {
+		if r.Node < 0 || r.Node >= numNodes {
+			continue
+		}
+		s.NodePackets[r.Node] += r.Packets
+		if r.InLink >= 0 {
+			s.LinkPackets[r.InLink] += r.Packets
+		}
+		span := r.Last - r.First
+		if span <= 0 {
+			s.NodeSeries.Add(r.First, r.Node, float64(r.Packets))
+			continue
+		}
+		// Spread uniformly across the buckets the record covers.
+		startB := int(r.First / bucketWidth)
+		endB := int(r.Last / bucketWidth)
+		if startB < 0 {
+			startB = 0
+		}
+		if endB >= buckets {
+			endB = buckets - 1
+		}
+		n := endB - startB + 1
+		per := float64(r.Packets) / float64(n)
+		for b := startB; b <= endB; b++ {
+			s.NodeSeries.Add((float64(b)+0.5)*bucketWidth, r.Node, per)
+		}
+	}
+	return s
+}
+
+// TopLinks returns the n busiest links by packet count, descending
+// (deterministic tie-break on link ID).
+func (s *Summary) TopLinks(n int) []int {
+	type lp struct {
+		link    int
+		packets int64
+	}
+	all := make([]lp, 0, len(s.LinkPackets))
+	for l, p := range s.LinkPackets {
+		all = append(all, lp{l, p})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].packets != all[j].packets {
+			return all[i].packets > all[j].packets
+		}
+		return all[i].link < all[j].link
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].link
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package netflow
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestCollectorAggregation(t *testing.T) {
+	c := NewCollector(5, 100, 2)
+	// Flow 0 passes through nodes 1 (from link -1, source) and 2 (link 7).
+	c.Observe(1, 0, 1, 4, -1, 10, 15000, 1.0)
+	c.Observe(2, 0, 1, 4, 7, 10, 15000, 1.5)
+	c.Observe(2, 0, 1, 4, 7, 5, 7500, 3.5) // same flow again, later
+	// Flow 1 through node 2 on link 9.
+	c.Observe(2, 1, 3, 4, 9, 20, 30000, 2.0)
+
+	recs := c.Records()
+	if len(recs) != 3 {
+		t.Fatalf("records = %d, want 3 (merged per node+flow+inlink)", len(recs))
+	}
+	s := c.Summarize()
+	if s.NodePackets[1] != 10 || s.NodePackets[2] != 35 {
+		t.Errorf("NodePackets = %v", s.NodePackets)
+	}
+	if s.LinkPackets[7] != 15 || s.LinkPackets[9] != 20 {
+		t.Errorf("LinkPackets = %v", s.LinkPackets)
+	}
+	if _, ok := s.LinkPackets[-1]; ok {
+		t.Error("source observations must not count as link traffic")
+	}
+	// Record merging tracked first/last.
+	for _, r := range recs {
+		if r.Node == 2 && r.FlowID == 0 {
+			if r.First != 1.5 || r.Last != 3.5 {
+				t.Errorf("first/last = %v/%v, want 1.5/3.5", r.First, r.Last)
+			}
+			if r.Packets != 15 {
+				t.Errorf("merged packets = %d, want 15", r.Packets)
+			}
+		}
+	}
+	// Series bucketed at 2s: node 2 has 10 packets in bucket 0 (t=1.5),
+	// 20 in bucket 1 (t=2.0), 5 in bucket 1 (t=3.5).
+	if c.Series().Loads[0][2] != 10 {
+		t.Errorf("series[0][2] = %v, want 10", c.Series().Loads[0][2])
+	}
+	if c.Series().Loads[1][2] != 25 {
+		t.Errorf("series[1][2] = %v, want 25", c.Series().Loads[1][2])
+	}
+}
+
+func TestDumpRoundTrip(t *testing.T) {
+	c := NewCollector(4, 50, 2)
+	c.Observe(0, 0, 0, 3, -1, 7, 10500, 0.5)
+	c.Observe(1, 0, 0, 3, 2, 7, 10500, 0.7)
+	c.Observe(2, 1, 2, 3, 4, 9, 13500, 1.2)
+	recs := c.Records()
+
+	var buf bytes.Buffer
+	if err := WriteDump(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadDump(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("round trip records = %d, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Errorf("record %d changed: %+v -> %+v", i, recs[i], got[i])
+		}
+	}
+}
+
+func TestReadDumpErrors(t *testing.T) {
+	cases := []string{
+		"1 2 3\n",             // wrong field count
+		"a 0 0 0 0 0 0 0 0\n", // bad int
+		"0 0 0 0 0 x 0 0 0\n", // bad packets
+		"0 0 0 0 0 0 y 0 0\n", // bad bytes
+		"0 0 0 0 0 0 0 z 0\n", // bad first
+		"0 0 0 0 0 0 0 0 w\n", // bad last
+	}
+	for i, in := range cases {
+		if _, err := ReadDump(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	// Comments and blank lines are fine.
+	recs, err := ReadDump(strings.NewReader("# header\n\n0 1 2 3 4 5 6 7.5 8.5\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Packets != 5 || recs[0].First != 7.5 {
+		t.Errorf("parsed %+v", recs)
+	}
+}
+
+func TestSummarizeRecords(t *testing.T) {
+	recs := []Record{
+		{Node: 0, FlowID: 0, InLink: -1, Packets: 10, First: 0, Last: 0},
+		{Node: 1, FlowID: 0, InLink: 3, Packets: 10, First: 2, Last: 6},
+		{Node: 2, FlowID: 1, InLink: 4, Packets: 8, First: 5, Last: 5},
+	}
+	s := SummarizeRecords(recs, 3, 10, 2)
+	if s.NodePackets[0] != 10 || s.NodePackets[1] != 10 || s.NodePackets[2] != 8 {
+		t.Errorf("NodePackets = %v", s.NodePackets)
+	}
+	if s.LinkPackets[3] != 10 || s.LinkPackets[4] != 8 {
+		t.Errorf("LinkPackets = %v", s.LinkPackets)
+	}
+	// Record spanning [2,6] spreads 10 packets over buckets 1..3.
+	total := 0.0
+	for b := 1; b <= 3; b++ {
+		total += s.NodeSeries.Loads[b][1]
+	}
+	if total < 9.9 || total > 10.1 {
+		t.Errorf("spread packets = %v, want 10", total)
+	}
+	// Out-of-range node IDs are skipped, not a panic.
+	s2 := SummarizeRecords([]Record{{Node: 99, Packets: 5}}, 3, 10, 2)
+	if s2.NodePackets[0] != 0 {
+		t.Error("out-of-range record affected totals")
+	}
+}
+
+func TestTopLinks(t *testing.T) {
+	s := &Summary{LinkPackets: map[int]int64{1: 100, 2: 300, 3: 200, 4: 300}}
+	top := s.TopLinks(3)
+	if len(top) != 3 {
+		t.Fatalf("top = %v", top)
+	}
+	// 300-packet links first (tie broken by ID), then 200.
+	if top[0] != 2 || top[1] != 4 || top[2] != 3 {
+		t.Errorf("top = %v, want [2 4 3]", top)
+	}
+	if got := s.TopLinks(99); len(got) != 4 {
+		t.Errorf("TopLinks(99) = %v, want all 4", got)
+	}
+}
+
+func TestCollectorDefaultBucketWidth(t *testing.T) {
+	c := NewCollector(1, 10, 0)
+	if c.BucketWidth != 2 {
+		t.Errorf("default bucket width = %v, want 2", c.BucketWidth)
+	}
+}

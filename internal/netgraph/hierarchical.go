@@ -1,0 +1,281 @@
+package netgraph
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+)
+
+// Routing is the routing interface the emulator and the mapping approaches
+// consume: a next-hop oracle plus path metrics. RoutingTable (flat
+// shortest-path) and HierarchicalTable (two-level, per-AS) both implement
+// it.
+type Routing interface {
+	// NextLink returns the first-hop link from src toward dst, or -1 when
+	// src == dst or dst is unreachable.
+	NextLink(src, dst int) int
+	// Distance returns the total latency of the routed path (+Inf if
+	// unreachable, 0 for src == dst).
+	Distance(src, dst int) float64
+}
+
+var (
+	_ Routing = (*RoutingTable)(nil)
+	_ Routing = (*HierarchicalTable)(nil)
+)
+
+// HierarchicalTable routes in two levels, the way MaSSF's AS-structured
+// networks do (and the reason the paper's router memory model is
+// m = 10 + x² with x the AS router count, §2.2.2):
+//
+//   - within an AS, nodes follow latency-shortest paths computed over the
+//     AS's own subgraph only — each node's table is O(per-AS nodes²), not
+//     O(network²);
+//   - across ASes, an AS-level shortest-path table picks the next AS and the
+//     border link into it; inside the current AS, traffic steers to that
+//     border link's local endpoint.
+//
+// Routes are loop-free (the AS-level path strictly progresses and intra-AS
+// shortest paths toward a fixed gateway are consistent) but can be longer
+// than flat shortest paths — exactly the inflation hierarchical routing
+// trades for table size.
+type HierarchicalTable struct {
+	nw *Network
+	// asOf[n] is the AS of node n.
+	asOf []int
+	// asIDs is the sorted list of distinct AS numbers; asIdx maps AS -> index.
+	asIDs []int
+	asIdx map[int]int
+	// intra[a] holds the intra-AS routing for AS index a: next-hop link and
+	// distance between the AS's member nodes (indexed by member position).
+	intra []intraTable
+	// member[a] lists node IDs of AS index a; memberIdx[n] is n's position
+	// within its AS.
+	member    [][]int
+	memberIdx []int
+	// nextAS[a*len(asIDs)+b] is the next AS index on the path a -> b, -1 if
+	// unreachable or a == b.
+	nextAS []int
+	// gateway[a*len(asIDs)+b] is the border link used to leave AS index a
+	// toward (neighboring, next) AS index b.
+	gateway []int32
+}
+
+type intraTable struct {
+	nextLink []int32
+	dist     []float64
+}
+
+// BuildHierarchicalRouting constructs the two-level table. Nodes keep their
+// Node.AS assignment; every AS subgraph should be internally connected for
+// full reachability (nodes that cannot reach their AS border are simply
+// unreachable from outside, mirroring a real misconfigured AS).
+func (nw *Network) BuildHierarchicalRouting() *HierarchicalTable {
+	n := len(nw.Nodes)
+	h := &HierarchicalTable{
+		nw:        nw,
+		asOf:      make([]int, n),
+		asIdx:     make(map[int]int),
+		memberIdx: make([]int, n),
+	}
+	seen := map[int]bool{}
+	for _, node := range nw.Nodes {
+		h.asOf[node.ID] = node.AS
+		if !seen[node.AS] {
+			seen[node.AS] = true
+			h.asIDs = append(h.asIDs, node.AS)
+		}
+	}
+	sort.Ints(h.asIDs)
+	for i, as := range h.asIDs {
+		h.asIdx[as] = i
+	}
+	numAS := len(h.asIDs)
+	h.member = make([][]int, numAS)
+	for _, node := range nw.Nodes {
+		a := h.asIdx[node.AS]
+		h.memberIdx[node.ID] = len(h.member[a])
+		h.member[a] = append(h.member[a], node.ID)
+	}
+
+	// Intra-AS shortest paths per AS subgraph.
+	h.intra = make([]intraTable, numAS)
+	for a := 0; a < numAS; a++ {
+		h.intra[a] = nw.intraDijkstraAll(h, a)
+	}
+
+	// AS-level graph: min-latency border link per AS pair.
+	type asEdge struct {
+		latency float64
+		link    int32
+	}
+	border := make(map[[2]int]asEdge)
+	for _, l := range nw.Links {
+		a, b := h.asIdx[h.asOf[l.A]], h.asIdx[h.asOf[l.B]]
+		if a == b {
+			continue
+		}
+		for _, key := range [][2]int{{a, b}, {b, a}} {
+			cur, ok := border[key]
+			if !ok || l.Latency < cur.latency || (l.Latency == cur.latency && int32(l.ID) < cur.link) {
+				border[key] = asEdge{latency: l.Latency, link: int32(l.ID)}
+			}
+		}
+	}
+
+	// AS-level all-pairs shortest paths (Floyd–Warshall on the small AS
+	// graph), tracking the first AS hop.
+	const inf = math.MaxFloat64
+	dist := make([]float64, numAS*numAS)
+	next := make([]int, numAS*numAS)
+	for i := range dist {
+		dist[i] = inf
+		next[i] = -1
+	}
+	for a := 0; a < numAS; a++ {
+		dist[a*numAS+a] = 0
+	}
+	for key, e := range border {
+		a, b := key[0], key[1]
+		if e.latency < dist[a*numAS+b] {
+			dist[a*numAS+b] = e.latency
+			next[a*numAS+b] = b
+		}
+	}
+	for k := 0; k < numAS; k++ {
+		for i := 0; i < numAS; i++ {
+			ik := dist[i*numAS+k]
+			if ik == inf {
+				continue
+			}
+			for j := 0; j < numAS; j++ {
+				if kj := dist[k*numAS+j]; kj != inf && ik+kj < dist[i*numAS+j] {
+					dist[i*numAS+j] = ik + kj
+					next[i*numAS+j] = next[i*numAS+k]
+				}
+			}
+		}
+	}
+	h.nextAS = next
+	h.gateway = make([]int32, numAS*numAS)
+	for i := range h.gateway {
+		h.gateway[i] = -1
+	}
+	for key, e := range border {
+		h.gateway[key[0]*numAS+key[1]] = e.link
+	}
+	return h
+}
+
+// intraDijkstraAll computes all-pairs next-hop routing within one AS
+// subgraph.
+func (nw *Network) intraDijkstraAll(h *HierarchicalTable, a int) intraTable {
+	members := h.member[a]
+	m := len(members)
+	t := intraTable{
+		nextLink: make([]int32, m*m),
+		dist:     make([]float64, m*m),
+	}
+	for i := range t.nextLink {
+		t.nextLink[i] = -1
+		t.dist[i] = math.Inf(1)
+	}
+	for si := range members {
+		dist := t.dist[si*m : si*m+m]
+		first := t.nextLink[si*m : si*m+m]
+		dist[si] = 0
+		done := make([]bool, m)
+		pq := &nodePQ{{node: si, dist: 0}}
+		for pq.Len() > 0 {
+			it := heap.Pop(pq).(pqItem)
+			vi := it.node
+			if done[vi] {
+				continue
+			}
+			done[vi] = true
+			v := members[vi]
+			for _, lid := range nw.adj[v] {
+				l := nw.Links[lid]
+				u := l.Other(v)
+				if h.asIdx[h.asOf[u]] != a {
+					continue // border link: not part of the intra table
+				}
+				ui := h.memberIdx[u]
+				nd := dist[vi] + l.Latency
+				f := first[vi]
+				if vi == si {
+					f = int32(lid)
+				}
+				if nd < dist[ui] || (nd == dist[ui] && !done[ui] && first[ui] > f) {
+					dist[ui] = nd
+					first[ui] = f
+					heap.Push(pq, pqItem{node: ui, dist: nd})
+				}
+			}
+		}
+		first[si] = -1
+	}
+	return t
+}
+
+// NextLink implements Routing.
+func (h *HierarchicalTable) NextLink(src, dst int) int {
+	if src == dst {
+		return -1
+	}
+	a := h.asIdx[h.asOf[src]]
+	b := h.asIdx[h.asOf[dst]]
+	if a == b {
+		m := len(h.member[a])
+		return int(h.intra[a].nextLink[h.memberIdx[src]*m+h.memberIdx[dst]])
+	}
+	numAS := len(h.asIDs)
+	na := h.nextAS[a*numAS+b]
+	if na < 0 {
+		return -1
+	}
+	gw := h.gateway[a*numAS+na]
+	if gw < 0 {
+		return -1
+	}
+	l := h.nw.Links[gw]
+	// The gateway link's endpoint inside this AS.
+	exit := l.A
+	if h.asIdx[h.asOf[exit]] != a {
+		exit = l.B
+	}
+	if exit == src {
+		return int(gw)
+	}
+	m := len(h.member[a])
+	return int(h.intra[a].nextLink[h.memberIdx[src]*m+h.memberIdx[exit]])
+}
+
+// Distance implements Routing by walking the hierarchical path.
+func (h *HierarchicalTable) Distance(src, dst int) float64 {
+	if src == dst {
+		return 0
+	}
+	var total float64
+	cur := src
+	for steps := 0; steps <= len(h.nw.Nodes)+len(h.asIDs); steps++ {
+		if cur == dst {
+			return total
+		}
+		lid := h.NextLink(cur, dst)
+		if lid < 0 {
+			return math.Inf(1)
+		}
+		total += h.nw.Links[lid].Latency
+		cur = h.nw.Links[lid].Other(cur)
+	}
+	return math.Inf(1) // defensive: should be unreachable
+}
+
+// TableEntries returns the number of routing-table entries node n must hold
+// under hierarchical routing: per-AS all-pairs entries plus one entry per
+// foreign AS — the quantity the paper's 10 + x² memory weight models.
+func (h *HierarchicalTable) TableEntries(n int) int {
+	a := h.asIdx[h.asOf[n]]
+	return len(h.member[a]) + (len(h.asIDs) - 1)
+}

@@ -1,0 +1,139 @@
+package netgraph
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Stats summarizes a topology's structure — the quantities one checks when
+// validating that a generated network is Internet-like (BRITE's goal) or
+// matches a real network's shape.
+type Stats struct {
+	Nodes, Routers, Hosts, Links int
+	// MinDegree/MaxDegree/MeanDegree describe the router-level degree
+	// distribution (hosts excluded: their degree is 1 by construction).
+	MinDegree, MaxDegree int
+	MeanDegree           float64
+	// Diameter is the maximum hop count between any two routers;
+	// MeanPathLength the average hop count over all router pairs.
+	// Both are -1 for disconnected router graphs.
+	Diameter       int
+	MeanPathLength float64
+	// TotalBandwidth sums all link capacities (bits/s); MinLatency and
+	// MaxLatency bound the link propagation delays.
+	TotalBandwidth         float64
+	MinLatency, MaxLatency float64
+}
+
+// ComputeStats derives Stats via BFS over the router-level subgraph.
+func (nw *Network) ComputeStats() Stats {
+	s := Stats{
+		Nodes:   nw.NumNodes(),
+		Routers: nw.NumRouters(),
+		Hosts:   nw.NumHosts(),
+		Links:   len(nw.Links),
+	}
+	routers := nw.Routers()
+	if len(nw.Links) > 0 {
+		s.MinLatency = math.Inf(1)
+	}
+	for _, l := range nw.Links {
+		s.TotalBandwidth += l.Bandwidth
+		if l.Latency < s.MinLatency {
+			s.MinLatency = l.Latency
+		}
+		if l.Latency > s.MaxLatency {
+			s.MaxLatency = l.Latency
+		}
+	}
+
+	// Router-level degrees (router-router links only).
+	isRouter := make([]bool, nw.NumNodes())
+	for _, r := range routers {
+		isRouter[r] = true
+	}
+	if len(routers) > 0 {
+		s.MinDegree = math.MaxInt
+		totalDeg := 0
+		for _, r := range routers {
+			deg := 0
+			for _, nb := range nw.Neighbors(r) {
+				if isRouter[nb] {
+					deg++
+				}
+			}
+			totalDeg += deg
+			if deg < s.MinDegree {
+				s.MinDegree = deg
+			}
+			if deg > s.MaxDegree {
+				s.MaxDegree = deg
+			}
+		}
+		s.MeanDegree = float64(totalDeg) / float64(len(routers))
+	}
+
+	// BFS all-pairs hop counts over routers.
+	s.Diameter, s.MeanPathLength = -1, -1
+	if len(routers) > 1 {
+		pos := make(map[int]int, len(routers))
+		for i, r := range routers {
+			pos[r] = i
+		}
+		diameter := 0
+		var sum float64
+		pairs := 0
+		connected := true
+		for _, src := range routers {
+			dist := make([]int, len(routers))
+			for i := range dist {
+				dist[i] = -1
+			}
+			dist[pos[src]] = 0
+			queue := []int{src}
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				for _, nb := range nw.Neighbors(v) {
+					if !isRouter[nb] {
+						continue
+					}
+					if dist[pos[nb]] == -1 {
+						dist[pos[nb]] = dist[pos[v]] + 1
+						queue = append(queue, nb)
+					}
+				}
+			}
+			for i, d := range dist {
+				if routers[i] == src {
+					continue
+				}
+				if d == -1 {
+					connected = false
+					continue
+				}
+				if d > diameter {
+					diameter = d
+				}
+				sum += float64(d)
+				pairs++
+			}
+		}
+		if connected && pairs > 0 {
+			s.Diameter = diameter
+			s.MeanPathLength = sum / float64(pairs)
+		}
+	}
+	return s
+}
+
+// String renders the stats as a short report.
+func (s Stats) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "nodes=%d (routers=%d hosts=%d) links=%d\n", s.Nodes, s.Routers, s.Hosts, s.Links)
+	fmt.Fprintf(&b, "router degree: min=%d max=%d mean=%.2f\n", s.MinDegree, s.MaxDegree, s.MeanDegree)
+	fmt.Fprintf(&b, "router graph: diameter=%d mean-path=%.2f hops\n", s.Diameter, s.MeanPathLength)
+	fmt.Fprintf(&b, "links: total-bw=%.3g bps latency=[%.3g, %.3g] s\n", s.TotalBandwidth, s.MinLatency, s.MaxLatency)
+	return b.String()
+}

@@ -1,0 +1,48 @@
+package netgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestComputeStatsLine(t *testing.T) {
+	nw := lineNetwork() // h0 - r0 - r1 - r2 - h1
+	s := nw.ComputeStats()
+	if s.Nodes != 5 || s.Routers != 3 || s.Hosts != 2 || s.Links != 4 {
+		t.Fatalf("counts wrong: %+v", s)
+	}
+	// Router chain r0-r1-r2: degrees 1,2,1; diameter 2; mean path (1+2+1)*2/6...
+	// ordered pairs: (r0,r1)=1 (r0,r2)=2 (r1,r2)=1 and symmetric -> mean = 8/6.
+	if s.MinDegree != 1 || s.MaxDegree != 2 {
+		t.Errorf("degrees: %+v", s)
+	}
+	if s.Diameter != 2 {
+		t.Errorf("diameter = %d, want 2", s.Diameter)
+	}
+	if s.MeanPathLength < 1.32 || s.MeanPathLength > 1.34 {
+		t.Errorf("mean path = %v, want ~1.333", s.MeanPathLength)
+	}
+	if s.MinLatency != 0.001 || s.MaxLatency != 0.003 {
+		t.Errorf("latency bounds: %+v", s)
+	}
+	if !strings.Contains(s.String(), "diameter=2") {
+		t.Error("String() incomplete")
+	}
+}
+
+func TestComputeStatsDisconnectedRouters(t *testing.T) {
+	nw := New("d")
+	nw.AddRouter("a", 1)
+	nw.AddRouter("b", 1)
+	s := nw.ComputeStats()
+	if s.Diameter != -1 || s.MeanPathLength != -1 {
+		t.Errorf("disconnected stats: %+v", s)
+	}
+}
+
+func TestComputeStatsEmpty(t *testing.T) {
+	s := New("e").ComputeStats()
+	if s.Nodes != 0 || s.Diameter != -1 {
+		t.Errorf("empty stats: %+v", s)
+	}
+}

@@ -1,0 +1,97 @@
+package partition
+
+import "testing"
+
+func TestPartitionRBErrors(t *testing.T) {
+	g := ringGraph(4, 1)
+	if _, err := PartitionRB(g, 0, Options{}); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := PartitionRB(g, 9, Options{}); err == nil {
+		t.Error("k>n accepted")
+	}
+	if _, err := PartitionRB(NewGraph(0, 1), 1, Options{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestPartitionRBTrivial(t *testing.T) {
+	g := ringGraph(6, 1)
+	part, err := PartitionRB(g, 1, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range part {
+		if p != 0 {
+			t.Fatal("k=1 produced nonzero part")
+		}
+	}
+}
+
+func TestPartitionRBPowerOfTwo(t *testing.T) {
+	g := gridGraph(8, 8)
+	part, err := PartitionRB(g, 4, Options{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, part, 4); err != nil {
+		t.Fatal(err)
+	}
+	if cut := EdgeCut(g, part); cut > 30 {
+		t.Errorf("RB 8x8 grid 4-way cut = %d, want <= 30", cut)
+	}
+	if b := Balance(g, part, 4)[0]; b > 1.12 {
+		t.Errorf("RB balance = %v", b)
+	}
+}
+
+func TestPartitionRBOddK(t *testing.T) {
+	// k=3 and k=5 exercise the skewed-bisection path.
+	for _, k := range []int{3, 5, 7} {
+		g := randomGraph(120, 200, 1, int64(k))
+		part, err := PartitionRB(g, k, Options{Seed: 3})
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if err := Verify(g, part, k); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if b := Balance(g, part, k)[0]; b > 1.30 {
+			t.Errorf("k=%d RB balance = %v, want <= 1.30", k, b)
+		}
+	}
+}
+
+func TestPartitionRBComparableToKWay(t *testing.T) {
+	// RB and k-way should land in the same quality class on a structured
+	// graph (within 2x of each other's cut).
+	g := gridGraph(12, 12)
+	kw, err := Partition(g, 6, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := PartitionRB(g, 6, Options{Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, cr := EdgeCut(g, kw), EdgeCut(g, rb)
+	if cr > 2*ck+4 {
+		t.Errorf("RB cut %d far above k-way %d", cr, ck)
+	}
+}
+
+func TestPartitionRBMultiConstraint(t *testing.T) {
+	g := randomGraph(80, 120, 2, 9)
+	part, err := PartitionRB(g, 4, Options{Seed: 5, Imbalance: 0.10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(g, part, 4); err != nil {
+		t.Fatal(err)
+	}
+	for c, b := range Balance(g, part, 4) {
+		if b > 1.35 {
+			t.Errorf("constraint %d balance = %v", c, b)
+		}
+	}
+}

@@ -1,0 +1,115 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestImproveValidatesInput(t *testing.T) {
+	g := ringGraph(8, 1)
+	if _, err := Improve(g, []int{0, 0, 0, 0}, 2, Options{}); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if _, err := Improve(g, []int{0, 0, 0, 0, 0, 0, 0, 0}, 2, Options{}); err == nil {
+		t.Error("empty part accepted")
+	}
+}
+
+func TestImproveReducesCut(t *testing.T) {
+	// Start from a deliberately awful striped assignment of a ring. A
+	// perfectly balanced bad partition under a tight ceiling is a fixed
+	// point of greedy refinement (every move overfills the destination), so
+	// give the refiner working headroom with a loose tolerance.
+	g := ringGraph(32, 1)
+	part := make([]int, 32)
+	for v := range part {
+		part[v] = v % 2
+	}
+	startCut := EdgeCut(g, part)
+	moved, err := Improve(g, part, 2, Options{Seed: 1, Imbalance: 0.30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	endCut := EdgeCut(g, part)
+	if endCut >= startCut {
+		t.Errorf("cut did not improve: %d -> %d", startCut, endCut)
+	}
+	if moved == 0 {
+		t.Error("no vertices moved from a terrible start")
+	}
+	if err := Verify(g, part, 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImproveRestoresBalance(t *testing.T) {
+	// A heavily skewed start: 90% of vertices in part 0.
+	g := randomGraph(100, 150, 1, 4)
+	part := make([]int, 100)
+	for v := 90; v < 100; v++ {
+		part[v] = 1 + v%3
+	}
+	if _, err := Improve(g, part, 4, Options{Seed: 2}); err != nil {
+		t.Fatal(err)
+	}
+	if b := Balance(g, part, 4)[0]; b > 1.20 {
+		t.Errorf("balance after Improve = %v, want <= 1.20", b)
+	}
+}
+
+func TestImproveIsNearNoOpOnGoodPartition(t *testing.T) {
+	// Improving an already good partition should move few vertices — the
+	// property incremental remapping relies on.
+	g := randomGraph(150, 250, 1, 7)
+	part, err := Partition(g, 4, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved, err := Improve(g, part, 4, Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved > 150/4 {
+		t.Errorf("good partition moved %d vertices, want few", moved)
+	}
+}
+
+func TestImproveFewerMovesThanRepartition(t *testing.T) {
+	// After a mild weight shift, Improve must move fewer vertices than a
+	// from-scratch repartition differs from the old assignment.
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(200, 350, 1, 9)
+	old, err := Partition(g, 5, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shift 15% of vertex weights.
+	g2 := g.Clone()
+	for v := 0; v < 200; v++ {
+		if rng.Intn(100) < 15 {
+			g2.VWgt[v][0] = g2.VWgt[v][0]*3 + 1
+		}
+	}
+	incr := append([]int(nil), old...)
+	movedIncr, err := Improve(g2, incr, 5, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := Partition(g2, 5, Options{Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	movedFresh := 0
+	for v := range fresh {
+		if fresh[v] != old[v] {
+			movedFresh++
+		}
+	}
+	if movedIncr >= movedFresh {
+		t.Errorf("incremental moved %d, repartition would move %d", movedIncr, movedFresh)
+	}
+	// And the incremental result must still be reasonably balanced.
+	if b := Balance(g2, incr, 5)[0]; b > 1.25 {
+		t.Errorf("incremental balance = %v", b)
+	}
+}

@@ -1,0 +1,115 @@
+package partition
+
+import "math/rand"
+
+// greedyGrow computes an initial k-way partition of g by greedy graph
+// growing: parts 0..k-2 are grown one at a time from a random seed vertex,
+// always absorbing the unassigned vertex with the strongest connection to the
+// growing part, until the part reaches its weight target; the leftovers form
+// part k-1. The result is feasible in assignment (every vertex gets a part)
+// but may be slightly unbalanced; callers refine it.
+func greedyGrow(g *Graph, k int, frac []float64, rng *rand.Rand) []int {
+	frac = uniformFractions(k, frac)
+	n := g.NumVertices()
+	part := make([]int, n)
+	for v := range part {
+		part[v] = -1
+	}
+	total := g.TotalVWgt()
+
+	unassigned := n
+	for p := 0; p < k-1 && unassigned > 0; p++ {
+		// Part p's weight target under its capacity fraction.
+		target := make([]float64, g.Ncon)
+		for c, t := range total {
+			target[c] = float64(t) * frac[p]
+		}
+		// Reserve room: never grow a part so large that the remaining parts
+		// cannot each receive at least one vertex.
+		maxVertices := unassigned - (k - 1 - p)
+		if maxVertices < 1 {
+			maxVertices = 1
+		}
+		grown := growOnePart(g, part, p, target, maxVertices, rng)
+		unassigned -= grown
+	}
+	for v := range part {
+		if part[v] == -1 {
+			part[v] = k - 1
+		}
+	}
+	return part
+}
+
+// growOnePart grows part p from a random unassigned seed until any balance
+// constraint reaches its target or maxVertices vertices have been absorbed.
+// Returns the number of vertices assigned.
+func growOnePart(g *Graph, part []int, p int, target []float64, maxVertices int, rng *rand.Rand) int {
+	n := g.NumVertices()
+	seed := -1
+	// Pick a random unassigned seed.
+	start := rng.Intn(n)
+	for i := 0; i < n; i++ {
+		v := (start + i) % n
+		if part[v] == -1 {
+			seed = v
+			break
+		}
+	}
+	if seed == -1 {
+		return 0
+	}
+
+	wgt := make([]float64, g.Ncon)
+	gain := make(map[int]int64) // unassigned frontier vertex -> connectivity to part p
+	assign := func(v int) {
+		part[v] = p
+		for c, w := range g.VWgt[v] {
+			wgt[c] += float64(w)
+		}
+		delete(gain, v)
+		for _, e := range g.Adj[v] {
+			if part[e.To] == -1 {
+				gain[e.To] += e.Wgt
+			}
+		}
+	}
+	reachedTarget := func() bool {
+		for c := range wgt {
+			if target[c] > 0 && wgt[c] >= target[c] {
+				return true
+			}
+		}
+		return false
+	}
+
+	assign(seed)
+	count := 1
+	for count < maxVertices && !reachedTarget() {
+		// Absorb the frontier vertex with maximal connectivity; if the
+		// frontier is empty (disconnected graph), jump to a random
+		// unassigned vertex.
+		best, bestW := -1, int64(-1)
+		for v, w := range gain {
+			if w > bestW || (w == bestW && v < best) {
+				best, bestW = v, w
+			}
+		}
+		if best == -1 {
+			start := rng.Intn(n)
+			for i := 0; i < n; i++ {
+				v := (start + i) % n
+				if part[v] == -1 {
+					best = v
+					break
+				}
+			}
+			if best == -1 {
+				break
+			}
+		}
+		assign(best)
+		count++
+	}
+	return count
+}

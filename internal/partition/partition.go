@@ -1,0 +1,238 @@
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// Options controls the multilevel partitioner. The zero value selects
+// sensible defaults for every field.
+type Options struct {
+	// Seed drives all randomized choices (matching order, growing seeds,
+	// refinement visit order). Identical inputs and seeds give identical
+	// partitions.
+	Seed int64
+	// Imbalance is the tolerated per-constraint load imbalance ε: every part
+	// may weigh at most (1+ε)·total/k on every constraint. Default 0.05.
+	Imbalance float64
+	// CoarsenTo stops coarsening once the graph has at most this many
+	// vertices. Default max(20·k, 120).
+	CoarsenTo int
+	// Restarts is the number of random initial partitions tried on the
+	// coarsest graph. Default 8.
+	Restarts int
+	// RefinePasses bounds the refinement passes per level. Default 10.
+	RefinePasses int
+	// Strategy selects the algorithm: KWay (default) or RecursiveBisection.
+	Strategy Strategy
+	// PartFractions optionally sets heterogeneous target part weights
+	// (METIS's tpwgts): part p should receive PartFractions[p] of every
+	// constraint's total. len must equal k and entries sum to 1; nil means
+	// uniform. Used to map onto simulation engines of unequal speed — the
+	// capability the paper's §5 notes MaSSF lacked. Ignored by
+	// RecursiveBisection.
+	PartFractions []float64
+}
+
+func (o Options) withDefaults(k int) Options {
+	if o.Imbalance <= 0 {
+		o.Imbalance = 0.05
+	}
+	if o.CoarsenTo <= 0 {
+		o.CoarsenTo = 20 * k
+		if o.CoarsenTo < 120 {
+			o.CoarsenTo = 120
+		}
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 8
+	}
+	if o.RefinePasses <= 0 {
+		o.RefinePasses = 10
+	}
+	return o
+}
+
+// Partition splits g into k parts, minimizing the weight of cut edges while
+// keeping every balance constraint within Options.Imbalance of perfect. It
+// returns part[v] ∈ [0,k) for every vertex.
+//
+// Errors: k < 1, or k > number of vertices (a part would necessarily be
+// empty).
+func Partition(g *Graph, k int, opts Options) ([]int, error) {
+	if opts.Strategy == RecursiveBisection && k > 2 {
+		return PartitionRB(g, k, opts)
+	}
+	n := g.NumVertices()
+	switch {
+	case k < 1:
+		return nil, fmt.Errorf("partition: k = %d, must be >= 1", k)
+	case k > n:
+		return nil, fmt.Errorf("partition: k = %d exceeds vertex count %d", k, n)
+	case n == 0:
+		return nil, errors.New("partition: empty graph")
+	case k == 1:
+		return make([]int, n), nil
+	case k == n:
+		part := make([]int, n)
+		for v := range part {
+			part[v] = v
+		}
+		return part, nil
+	}
+
+	opts = opts.withDefaults(k)
+	rng := rand.New(rand.NewSource(opts.Seed))
+	frac := uniformFractions(k, opts.PartFractions)
+
+	// Phase 1: coarsen.
+	levels := buildHierarchy(g, opts.CoarsenTo, rng)
+	coarsest := g
+	if len(levels) > 0 {
+		coarsest = levels[len(levels)-1].graph
+	}
+
+	// Phase 2: initial partition on the coarsest graph, best of Restarts.
+	part := initialPartition(coarsest, k, opts, rng)
+
+	// Phase 3: uncoarsen, refining at every level.
+	for i := len(levels) - 1; i >= 0; i-- {
+		finer := g
+		if i > 0 {
+			finer = levels[i-1].graph
+		}
+		part = project(part, levels[i].fineToCoarse, finer.NumVertices())
+		refine(finer, part, k, opts.Imbalance, opts.RefinePasses, frac, rng)
+		rebalance(finer, part, k, opts.Imbalance, frac)
+	}
+	if len(levels) == 0 {
+		refine(g, part, k, opts.Imbalance, opts.RefinePasses, frac, rng)
+		rebalance(g, part, k, opts.Imbalance, frac)
+	}
+	// Final polish: anneal the balance ceiling downward. Refinement parks
+	// just under whatever ceiling it is given, so a single tolerance leaves
+	// the result at (1+ε) rather than near-perfect balance; tightening in
+	// steps (ending at METIS's k-way default of 3%) converges close to even
+	// without wedging the way a tight ceiling from the start does.
+	target := opts.Imbalance
+	if target > 0.03 {
+		target = 0.03
+	}
+	for _, eps := range []float64{opts.Imbalance, (opts.Imbalance + target) / 2, target} {
+		if eps > opts.Imbalance {
+			continue
+		}
+		rebalance(g, part, k, eps, frac)
+		refine(g, part, k, eps, opts.RefinePasses, frac, rng)
+	}
+	rebalance(g, part, k, target, frac)
+	ensureNonEmpty(g, part, k)
+	return part, nil
+}
+
+// initialPartition tries Restarts greedy growings of the coarsest graph and
+// keeps the best result: feasible (within balance) partitions are preferred,
+// then lower edge cut, then lower max-norm imbalance.
+func initialPartition(g *Graph, k int, opts Options, rng *rand.Rand) []int {
+	var best []int
+	var bestCut int64
+	var bestNorm float64
+	bestFeasible := false
+
+	frac := uniformFractions(k, opts.PartFractions)
+	for r := 0; r < opts.Restarts; r++ {
+		part := greedyGrow(g, k, frac, rng)
+		refine(g, part, k, opts.Imbalance, opts.RefinePasses, frac, rng)
+		rebalance(g, part, k, opts.Imbalance, frac)
+		cut := EdgeCut(g, part)
+		norm := maxNorm(g, part, k, frac)
+		feasible := norm <= 1+opts.Imbalance+1e-9
+		better := false
+		switch {
+		case best == nil:
+			better = true
+		case feasible && !bestFeasible:
+			better = true
+		case feasible == bestFeasible && cut < bestCut:
+			better = true
+		case feasible == bestFeasible && cut == bestCut && norm < bestNorm:
+			better = true
+		}
+		if better {
+			best = append(best[:0:0], part...)
+			bestCut, bestNorm, bestFeasible = cut, norm, feasible
+		}
+	}
+	return best
+}
+
+// project maps a coarse partition back to the finer graph.
+func project(coarsePart []int, fineToCoarse []int, fineN int) []int {
+	part := make([]int, fineN)
+	for v := 0; v < fineN; v++ {
+		part[v] = coarsePart[fineToCoarse[v]]
+	}
+	return part
+}
+
+// ensureNonEmpty guarantees every part owns at least one vertex by donating
+// the least-connected vertex of the largest part to each empty part. This is
+// a rare fallback (refinement never empties parts) but projection from a
+// pathological coarse partition could.
+func ensureNonEmpty(g *Graph, part []int, k int) {
+	sizes := partSizes(part, k)
+	for p := 0; p < k; p++ {
+		if sizes[p] > 0 {
+			continue
+		}
+		// Donate from the largest part.
+		donor := 0
+		for q := 1; q < k; q++ {
+			if sizes[q] > sizes[donor] {
+				donor = q
+			}
+		}
+		bestV := -1
+		var bestExt int64
+		for v, q := range part {
+			if q != donor {
+				continue
+			}
+			var internal int64
+			for _, e := range g.Adj[v] {
+				if part[e.To] == donor {
+					internal += e.Wgt
+				}
+			}
+			if bestV == -1 || internal < bestExt {
+				bestV, bestExt = v, internal
+			}
+		}
+		if bestV >= 0 {
+			part[bestV] = p
+			sizes[donor]--
+			sizes[p]++
+		}
+	}
+}
+
+// maxNorm returns the worst per-constraint ratio of actual part weight to
+// its target total·frac[p]. 1.0 means perfect balance.
+func maxNorm(g *Graph, part []int, k int, frac []float64) float64 {
+	w := partWeights(g, part, k)
+	total := g.TotalVWgt()
+	worst := 0.0
+	for c, t := range total {
+		if t == 0 {
+			continue
+		}
+		for p := range w {
+			r := float64(w[p][c]) / (float64(t) * frac[p])
+			if r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}

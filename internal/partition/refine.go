@@ -1,0 +1,437 @@
+package partition
+
+import "math/rand"
+
+// partWeights returns the per-part, per-constraint weight sums of the
+// assignment.
+func partWeights(g *Graph, part []int, k int) [][]int64 {
+	w := make([][]int64, k)
+	for p := range w {
+		w[p] = make([]int64, g.Ncon)
+	}
+	for v, p := range part {
+		for c, x := range g.VWgt[v] {
+			w[p][c] += x
+		}
+	}
+	return w
+}
+
+// partSizes returns the vertex count of each part.
+func partSizes(part []int, k int) []int {
+	s := make([]int, k)
+	for _, p := range part {
+		s[p]++
+	}
+	return s
+}
+
+// uniformFractions returns frac unchanged when it already holds k positive
+// entries summing to ~1, or the uniform 1/k vector otherwise. Target
+// fractions are how heterogeneous engine capacities reach the partitioner
+// (METIS's tpwgts): part p may hold frac[p] of every constraint's total.
+func uniformFractions(k int, frac []float64) []float64 {
+	if len(frac) == k {
+		ok := true
+		var sum float64
+		for _, f := range frac {
+			if f <= 0 {
+				ok = false
+				break
+			}
+			sum += f
+		}
+		if ok && sum > 0.99 && sum < 1.01 {
+			return frac
+		}
+	}
+	out := make([]float64, k)
+	for p := range out {
+		out[p] = 1 / float64(k)
+	}
+	return out
+}
+
+// allowedCeiling returns, per part and constraint, the maximum weight part p
+// may hold under tolerance tol and target fractions frac:
+// (1+tol)·total[c]·frac[p]. A constraint whose total is 0 gets an unbounded
+// ceiling.
+func allowedCeiling(g *Graph, k int, tol float64, frac []float64) [][]float64 {
+	total := g.TotalVWgt()
+	ceil := make([][]float64, k)
+	for p := range ceil {
+		ceil[p] = make([]float64, g.Ncon)
+		for c, t := range total {
+			if t == 0 {
+				ceil[p][c] = 1e308
+				continue
+			}
+			ceil[p][c] = (1 + tol) * float64(t) * frac[p]
+		}
+	}
+	return ceil
+}
+
+// moveFits reports whether moving vertex v into part dst keeps every
+// constraint of dst at or below its ceiling.
+func moveFits(g *Graph, w [][]int64, v, dst int, ceil [][]float64) bool {
+	for c, x := range g.VWgt[v] {
+		if float64(w[dst][c]+x) > ceil[dst][c] {
+			return false
+		}
+	}
+	return true
+}
+
+// applyMove moves v from its current part to dst, updating part and weights.
+func applyMove(g *Graph, part []int, w [][]int64, sizes []int, v, dst int) {
+	src := part[v]
+	for c, x := range g.VWgt[v] {
+		w[src][c] -= x
+		w[dst][c] += x
+	}
+	sizes[src]--
+	sizes[dst]++
+	part[v] = dst
+}
+
+// connectivity computes, for vertex v, the total edge weight from v into each
+// part it touches, reusing the provided scratch map.
+func connectivity(g *Graph, part []int, v int, conn map[int]int64) {
+	clear(conn)
+	for _, e := range g.Adj[v] {
+		conn[part[e.To]] += e.Wgt
+	}
+}
+
+// refine performs up to passes rounds of greedy boundary refinement on the
+// assignment: each pass visits vertices in random order and moves a vertex to
+// the adjacent part with the highest positive cut gain, provided the move
+// keeps the destination under the balance ceiling and does not empty the
+// source part. Zero-gain moves are taken when they strictly reduce the
+// heaviest constraint load of the source part (they improve balance for
+// free). Refinement stops early on a pass with no moves.
+func refine(g *Graph, part []int, k int, tol float64, passes int, frac []float64, rng *rand.Rand) {
+	frac = uniformFractions(k, frac)
+	w := partWeights(g, part, k)
+	sizes := partSizes(part, k)
+	ceil := allowedCeiling(g, k, tol, frac)
+	conn := make(map[int]int64, k)
+
+	for pass := 0; pass < passes; pass++ {
+		moved := 0
+		for _, v := range rng.Perm(g.NumVertices()) {
+			src := part[v]
+			if sizes[src] <= 1 {
+				continue // never empty a part
+			}
+			connectivity(g, part, v, conn)
+			internal := conn[src]
+			bestDst, bestGain := -1, int64(0)
+			bestBalance := false
+			// Iterate parts in index order (not map order) so results are
+			// deterministic for a fixed seed.
+			for dst := 0; dst < k; dst++ {
+				ext, touches := conn[dst]
+				if dst == src || !touches {
+					continue
+				}
+				gain := ext - internal
+				if gain < 0 {
+					continue
+				}
+				if !moveFits(g, w, v, dst, ceil) {
+					continue
+				}
+				if gain > bestGain {
+					bestDst, bestGain, bestBalance = dst, gain, false
+					continue
+				}
+				if gain == 0 && bestDst == -1 && balanceImproves(g, w, v, src, dst, frac) {
+					// Zero-gain candidate: only worthwhile if it improves
+					// balance (source heavier than destination on some
+					// constraint the vertex contributes to).
+					bestDst, bestBalance = dst, true
+				}
+			}
+			if bestDst != -1 && (bestGain > 0 || bestBalance) {
+				applyMove(g, part, w, sizes, v, bestDst)
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}
+
+// balanceImproves reports whether moving v from src to dst strictly reduces
+// the pairwise relative imbalance between the two parts (weights compared
+// relative to each part's target fraction).
+func balanceImproves(g *Graph, w [][]int64, v, src, dst int, frac []float64) bool {
+	for c, x := range g.VWgt[v] {
+		if x == 0 {
+			continue
+		}
+		if float64(w[src][c])/frac[src] > float64(w[dst][c]+x)/frac[dst] {
+			return true
+		}
+	}
+	return false
+}
+
+// rebalance restores balance feasibility after refinement or projection by
+// alternating two phases until neither makes progress. The push phase moves
+// the least-cut-damage vertex out of any part exceeding its ceiling into the
+// lightest part that can take it. The fill phase pulls the cheapest vertex
+// into any part below its floor (1-tol)·avg — a ceiling alone cannot prevent
+// one starving part while all the others hug the ceiling. All loops are
+// bounded so hopeless instances (e.g. one giant vertex) terminate.
+func rebalance(g *Graph, part []int, k int, tol float64, frac []float64) {
+	frac = uniformFractions(k, frac)
+	st := &rebalanceState{
+		g:     g,
+		part:  part,
+		k:     k,
+		tol:   tol,
+		frac:  frac,
+		w:     partWeights(g, part, k),
+		sizes: partSizes(part, k),
+		ceil:  allowedCeiling(g, k, tol, frac),
+		conn:  make(map[int]int64, k),
+		total: g.TotalVWgt(),
+	}
+	maxMoves := 4 * g.NumVertices()
+	for round := 0; round < 4; round++ {
+		pushed := st.pushPhase(maxMoves)
+		filled := st.fillPhase(maxMoves)
+		if pushed+filled == 0 {
+			return
+		}
+	}
+}
+
+type rebalanceState struct {
+	g     *Graph
+	part  []int
+	k     int
+	tol   float64
+	frac  []float64
+	w     [][]int64
+	sizes []int
+	ceil  [][]float64
+	conn  map[int]int64
+	total []int64
+}
+
+// pushPhase sheds weight from over-ceiling parts; returns moves made.
+func (st *rebalanceState) pushPhase(maxMoves int) int {
+	g, part, k, w, sizes, ceil, conn := st.g, st.part, st.k, st.w, st.sizes, st.ceil, st.conn
+	// forcedMoves caps how often a vertex may be moved by the forced
+	// fallback, preventing a hot vertex from ping-ponging between the two
+	// heaviest parts until the move budget is gone.
+	forcedMoves := make(map[int]int)
+	moves := 0
+	stuck := false
+	for move := 0; move < maxMoves && !stuck; move++ {
+		over, overC := mostOverweight(g, w, ceil)
+		if over == -1 {
+			break
+		}
+		// Candidate vertices of the overweight part, best (least cut damage
+		// per unit of weight shed) first.
+		bestV, bestDst := -1, -1
+		var bestCost float64
+		for v, p := range part {
+			if p != over || sizes[over] <= 1 {
+				continue
+			}
+			if g.VWgt[v][overC] == 0 {
+				continue // moving it would not help the violated constraint
+			}
+			connectivity(g, part, v, conn)
+			internal := conn[over]
+			for dst := 0; dst < k; dst++ {
+				if dst == over {
+					continue
+				}
+				if !fitsAfterMove(g, w, v, dst, ceil, overC) {
+					continue
+				}
+				cost := float64(internal-conn[dst]) / float64(g.VWgt[v][overC])
+				if bestV == -1 || cost < bestCost {
+					bestV, bestDst, bestCost = v, dst, cost
+				}
+			}
+		}
+		if bestV == -1 {
+			// No ceiling-respecting move exists. Force progress: shed the
+			// least-damaging vertex to the part lightest on the violated
+			// constraint, ignoring other ceilings (the next iterations can
+			// repair them). Without this fallback, multi-constraint
+			// instances wedge far from balance.
+			dst := lightestPart(w, over, overC, st.frac)
+			if dst == -1 {
+				stuck = true
+				break
+			}
+			for v, p := range part {
+				if p != over || sizes[over] <= 1 || g.VWgt[v][overC] == 0 {
+					continue
+				}
+				if forcedMoves[v] >= 2 {
+					continue
+				}
+				connectivity(g, part, v, conn)
+				cost := float64(conn[over]-conn[dst]) / float64(g.VWgt[v][overC])
+				if bestV == -1 || cost < bestCost {
+					bestV, bestDst, bestCost = v, dst, cost
+				}
+			}
+			if bestV == -1 {
+				stuck = true // truly stuck (single movable vertex, etc.)
+				break
+			}
+			forcedMoves[bestV]++
+		}
+		if bestV != -1 {
+			applyMove(g, part, w, sizes, bestV, bestDst)
+			moves++
+		}
+	}
+	return moves
+}
+
+// fillPhase pulls weight into under-floor parts; returns moves made.
+func (st *rebalanceState) fillPhase(maxMoves int) int {
+	g, part, k, w, sizes, conn, total := st.g, st.part, st.k, st.w, st.sizes, st.conn, st.total
+	forcedMoves := make(map[int]int)
+	moves := 0
+	for move := 0; move < maxMoves; move++ {
+		starve, starveC := mostUnderweight(g, w, k, st.tol, total, st.frac)
+		if starve == -1 {
+			return moves
+		}
+		donor := heaviestPart(w, starve, starveC, st.frac)
+		if donor == -1 || sizes[donor] <= 1 {
+			return moves
+		}
+		floor := (1 - st.tol) * float64(total[starveC]) * st.frac[donor]
+		headroom := st.ceil[starve][starveC] - float64(w[starve][starveC])
+		bestV := -1
+		var bestCost float64
+		for v, p := range part {
+			if p != donor || g.VWgt[v][starveC] == 0 || forcedMoves[v] >= 2 {
+				continue
+			}
+			// The donor must not fall below the floor itself, and the
+			// incoming vertex must not blow the receiver's own ceiling.
+			if float64(w[donor][starveC]-g.VWgt[v][starveC]) < floor {
+				continue
+			}
+			if float64(g.VWgt[v][starveC]) > headroom {
+				continue
+			}
+			connectivity(g, part, v, conn)
+			cost := float64(conn[donor]-conn[starve]) / float64(g.VWgt[v][starveC])
+			if bestV == -1 || cost < bestCost {
+				bestV, bestCost = v, cost
+			}
+		}
+		if bestV == -1 {
+			return moves
+		}
+		forcedMoves[bestV]++
+		applyMove(g, part, w, sizes, bestV, starve)
+		moves++
+	}
+	return moves
+}
+
+// mostUnderweight returns the part and constraint with the largest relative
+// shortfall below the floor (1-tol)·total·frac[p], or (-1, -1) if none.
+func mostUnderweight(g *Graph, w [][]int64, k int, tol float64, total []int64, frac []float64) (int, int) {
+	bestP, bestC := -1, -1
+	var worst float64 = 1
+	for p := range w {
+		for c, x := range w[p] {
+			if total[c] == 0 {
+				continue
+			}
+			floor := (1 - tol) * float64(total[c]) * frac[p]
+			if floor <= 0 {
+				continue
+			}
+			r := float64(x) / floor
+			if r < worst {
+				worst, bestP, bestC = r, p, c
+			}
+		}
+	}
+	return bestP, bestC
+}
+
+// heaviestPart returns the part (other than exclude) with the largest weight
+// on constraint c relative to its target fraction, or -1 when k == 1.
+func heaviestPart(w [][]int64, exclude, c int, frac []float64) int {
+	best := -1
+	for p := range w {
+		if p == exclude {
+			continue
+		}
+		if best == -1 || float64(w[p][c])/frac[p] > float64(w[best][c])/frac[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// fitsAfterMove is like moveFits but tolerates the destination exceeding the
+// ceiling on constraints other than the violated one by a small margin; this
+// lets rebalance make progress on the constraint that matters most.
+func fitsAfterMove(g *Graph, w [][]int64, v, dst int, ceil [][]float64, violated int) bool {
+	for c, x := range g.VWgt[v] {
+		limit := ceil[dst][c]
+		if c != violated {
+			limit *= 1.10
+		}
+		if float64(w[dst][c]+x) > limit {
+			return false
+		}
+	}
+	return true
+}
+
+// lightestPart returns the part (other than exclude) with the smallest
+// weight on constraint c relative to its target fraction, or -1 when k == 1.
+func lightestPart(w [][]int64, exclude, c int, frac []float64) int {
+	best := -1
+	for p := range w {
+		if p == exclude {
+			continue
+		}
+		if best == -1 || float64(w[p][c])/frac[p] < float64(w[best][c])/frac[best] {
+			best = p
+		}
+	}
+	return best
+}
+
+// mostOverweight returns the part and constraint with the largest relative
+// ceiling violation, or (-1, -1) if everything is within bounds.
+func mostOverweight(g *Graph, w [][]int64, ceil [][]float64) (int, int) {
+	bestP, bestC := -1, -1
+	var worst float64 = 1
+	for p := range w {
+		for c, x := range w[p] {
+			if ceil[p][c] <= 0 {
+				continue
+			}
+			r := float64(x) / ceil[p][c]
+			if r > worst {
+				worst, bestP, bestC = r, p, c
+			}
+		}
+	}
+	return bestP, bestC
+}

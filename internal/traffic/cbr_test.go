@@ -1,0 +1,144 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/topogen"
+)
+
+func TestCBRGenerate(t *testing.T) {
+	nw := topogen.Campus()
+	spec := DefaultCBR(20, 1)
+	w := spec.Generate(nw)
+	if err := w.Validate(nw); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Flows) == 0 {
+		t.Fatal("no CBR flows")
+	}
+	// Every flow carries Rate*Period bytes.
+	want := int64(spec.RateBytesPerSecond * spec.Period)
+	for _, f := range w.Flows {
+		if f.Bytes != want {
+			t.Fatalf("flow bytes = %d, want %d", f.Bytes, want)
+		}
+		if f.Tag != "cbr" {
+			t.Fatalf("tag = %q", f.Tag)
+		}
+	}
+	// ~Pairs flows per period.
+	perSecond := float64(len(w.Flows)) / spec.Duration
+	if perSecond < 0.8*float64(spec.Pairs) || perSecond > 1.2*float64(spec.Pairs) {
+		t.Errorf("flow rate %.1f/s, want ~%d/s", perSecond, spec.Pairs)
+	}
+}
+
+func TestCBRPredictionExact(t *testing.T) {
+	// CBR's prediction must match its generated volume almost exactly (the
+	// phase jitter trims at most one period per pair).
+	nw := topogen.TeraGrid()
+	spec := DefaultCBR(30, 2)
+	w := spec.Generate(nw)
+	var predicted float64
+	for _, p := range spec.Predict(nw) {
+		predicted += p.BytesPerSecond * spec.Duration
+	}
+	gen := float64(w.TotalBytes())
+	if math.Abs(predicted-gen) > 0.10*gen {
+		t.Errorf("CBR predicted %.3g vs generated %.3g", predicted, gen)
+	}
+}
+
+func TestCBRDeterministic(t *testing.T) {
+	nw := topogen.Campus()
+	a := DefaultCBR(10, 7).Generate(nw)
+	b := DefaultCBR(10, 7).Generate(nw)
+	if len(a.Flows) != len(b.Flows) {
+		t.Fatal("nondeterministic")
+	}
+	for i := range a.Flows {
+		if a.Flows[i] != b.Flows[i] {
+			t.Fatal("nondeterministic flows")
+		}
+	}
+}
+
+func TestCBRDegenerate(t *testing.T) {
+	nw := topogen.Campus()
+	w := CBRSpec{Pairs: 3, RateBytesPerSecond: 0, Period: 1, Duration: 5, Seed: 1}.Generate(nw)
+	if len(w.Flows) != 0 {
+		t.Error("zero-rate CBR produced flows")
+	}
+	// Zero period defaults to 1s rather than looping forever.
+	w2 := CBRSpec{Pairs: 1, RateBytesPerSecond: 100, Period: 0, Duration: 3, Seed: 1}.Generate(nw)
+	if len(w2.Flows) == 0 || len(w2.Flows) > 4 {
+		t.Errorf("period default wrong: %d flows", len(w2.Flows))
+	}
+}
+
+func TestOnOffGenerate(t *testing.T) {
+	nw := topogen.Campus()
+	spec := DefaultOnOff(60, 3)
+	w := spec.Generate(nw)
+	if err := w.Validate(nw); err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Flows) == 0 {
+		t.Fatal("no on/off flows")
+	}
+	// Burst sizes vary (exponential), unlike CBR.
+	sizes := map[int64]bool{}
+	for _, f := range w.Flows {
+		sizes[f.Bytes] = true
+	}
+	if len(sizes) < len(w.Flows)/2 {
+		t.Error("burst sizes suspiciously uniform")
+	}
+}
+
+func TestOnOffBurstier(t *testing.T) {
+	// On/off traffic must be burstier than CBR: higher coefficient of
+	// variation of per-second volume.
+	nw := topogen.Campus()
+	cv := func(w Workload) float64 {
+		bins := make(map[int]float64)
+		for _, f := range w.Flows {
+			bins[int(f.Start)] += float64(f.Bytes)
+		}
+		var xs []float64
+		for _, v := range bins {
+			xs = append(xs, v)
+		}
+		var mean float64
+		for _, x := range xs {
+			mean += x
+		}
+		mean /= float64(len(xs))
+		var ss float64
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		return math.Sqrt(ss/float64(len(xs))) / mean
+	}
+	cbr := DefaultCBR(60, 5).Generate(nw)
+	onoff := DefaultOnOff(60, 5).Generate(nw)
+	if cv(onoff) <= cv(cbr) {
+		t.Errorf("on/off CV %.2f <= CBR CV %.2f", cv(onoff), cv(cbr))
+	}
+}
+
+func TestOnOffPredictVolume(t *testing.T) {
+	nw := topogen.TeraGrid()
+	spec := DefaultOnOff(120, 4)
+	w := spec.Generate(nw)
+	var predicted float64
+	for _, p := range spec.Predict(nw) {
+		predicted += p.BytesPerSecond * spec.Duration
+	}
+	gen := float64(w.TotalBytes())
+	// Average-rate prediction is right in expectation, loose per sample.
+	if math.Abs(predicted-gen) > 0.5*gen {
+		t.Errorf("on/off predicted %.3g vs generated %.3g (> 50%% off)", predicted, gen)
+	}
+}

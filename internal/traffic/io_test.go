@@ -1,0 +1,91 @@
+package traffic
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/topogen"
+)
+
+func TestWorkloadTraceRoundTrip(t *testing.T) {
+	nw := topogen.Campus()
+	w := DefaultHTTP(15, 3).Generate(nw)
+	w.AppHosts = []int{5, 9}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, &w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Duration != w.Duration {
+		t.Errorf("duration %v -> %v", w.Duration, got.Duration)
+	}
+	if len(got.AppHosts) != 2 || got.AppHosts[0] != 5 || got.AppHosts[1] != 9 {
+		t.Errorf("apphosts = %v", got.AppHosts)
+	}
+	if len(got.Flows) != len(w.Flows) {
+		t.Fatalf("flows %d -> %d", len(w.Flows), len(got.Flows))
+	}
+	for i := range w.Flows {
+		if got.Flows[i] != w.Flows[i] {
+			t.Fatalf("flow %d changed: %+v -> %+v", i, w.Flows[i], got.Flows[i])
+		}
+	}
+}
+
+func TestWorkloadTraceTagless(t *testing.T) {
+	w := Workload{
+		Flows:    []Flow{{ID: 0, Src: 1, Dst: 2, Start: 0.5, Bytes: 99}},
+		Duration: 1,
+	}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, &w); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadWorkload(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Flows[0].Tag != "" {
+		t.Errorf("tag = %q, want empty", got.Flows[0].Tag)
+	}
+}
+
+func TestWriteWorkloadRejectsWhitespaceTag(t *testing.T) {
+	w := Workload{Flows: []Flow{{Tag: "a b", Bytes: 1, Dst: 1}}}
+	var buf bytes.Buffer
+	if err := WriteWorkload(&buf, &w); err == nil {
+		t.Error("whitespace tag accepted")
+	}
+}
+
+func TestReadWorkloadErrors(t *testing.T) {
+	cases := []string{
+		"duration\n",
+		"duration x\n",
+		"duration -1\n",
+		"apphosts x\n",
+		"flow 1 2 3\n",
+		"flow a 2 0 1\n",
+		"flow 1 b 0 1\n",
+		"flow 1 2 c 1\n",
+		"flow 1 2 0 d\n",
+		"bogus\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadWorkload(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted: %q", i, in)
+		}
+	}
+	// Comments and blanks fine.
+	w, err := ReadWorkload(strings.NewReader("# hi\n\nduration 5\nflow 1 2 0.25 100 x\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Duration != 5 || len(w.Flows) != 1 || w.Flows[0].Tag != "x" {
+		t.Errorf("parsed %+v", w)
+	}
+}

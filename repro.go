@@ -1,0 +1,199 @@
+// Package repro is the public facade of this reproduction of
+// "Traffic-based Load Balance for Scalable Network Emulation"
+// (Liu & Chien, SC 2003).
+//
+// The facade re-exports the pieces a downstream user composes:
+//
+//   - topologies (Campus, TeraGrid, BRITE-like generation — Table 1),
+//   - traffic (the paper's HTTP background model, ScaLapack and GridNPB
+//     foreground application models),
+//   - the three network-mapping approaches (TOP, PLACE, PROFILE),
+//   - the multilevel multi-constraint multi-objective graph partitioner,
+//   - the distributed network emulator (conservative parallel DES with
+//     packet-level forwarding, NetFlow profiling, and replay), and
+//   - the experiment harness regenerating every table and figure of §4.
+//
+// Quick start:
+//
+//	sc := &repro.Scenario{
+//		Network:       repro.Campus(),
+//		Engines:       3,
+//		Background:    repro.DefaultHTTP(60, 1),
+//		HasBackground: true,
+//	}
+//	out, err := sc.Run(repro.Profile)
+//	fmt.Println(out.Result.Imbalance)
+//
+// See the examples/ directory for complete programs and DESIGN.md for the
+// system inventory.
+package repro
+
+import (
+	"repro/internal/apps"
+	"repro/internal/core"
+	"repro/internal/emu"
+	"repro/internal/mapping"
+	"repro/internal/netgraph"
+	"repro/internal/partition"
+	"repro/internal/topogen"
+	"repro/internal/traffic"
+)
+
+// Core pipeline types.
+type (
+	// Scenario is one emulation study: topology, engines, background and
+	// foreground traffic. See core.Scenario.
+	Scenario = core.Scenario
+	// Outcome is the result of running one mapping approach on a Scenario.
+	Outcome = core.Outcome
+	// Approach names a mapping strategy (TOP, PLACE, PROFILE).
+	Approach = mapping.Approach
+)
+
+// The paper's three mapping approaches.
+const (
+	Top     = mapping.Top
+	Place   = mapping.Place
+	Profile = mapping.Profile
+)
+
+// Approaches returns TOP, PLACE, PROFILE in the paper's order.
+func Approaches() []Approach { return mapping.Approaches() }
+
+// Network model.
+type (
+	// Network is a virtual topology of routers, hosts and links.
+	Network = netgraph.Network
+	// Link is one undirected network link.
+	Link = netgraph.Link
+	// Node is one virtual network entity.
+	Node = netgraph.Node
+)
+
+// Topology generators (Table 1 and Table 2 configurations).
+var (
+	// Campus builds the 20-router / 40-host campus section.
+	Campus = topogen.Campus
+	// TeraGrid builds the 27-router / 150-host TeraGrid of Figure 3.
+	TeraGrid = topogen.TeraGrid
+	// Brite builds a BRITE-like Internet topology.
+	Brite = topogen.Brite
+)
+
+// BriteConfig parameterizes the Brite generator.
+type BriteConfig = topogen.BriteConfig
+
+// TopologyByName builds one of the paper's topologies by Table 1 name.
+func TopologyByName(name string, seed int64) (*Network, error) {
+	return topogen.ByName(name, seed)
+}
+
+// Traffic.
+type (
+	// HTTPSpec is the paper's §4.1.4 background traffic description.
+	HTTPSpec = traffic.HTTPSpec
+	// Workload is a timestamped list of flows.
+	Workload = traffic.Workload
+	// Flow is one end-to-end transfer.
+	Flow = traffic.Flow
+	// ScaLapack models the regular MPI foreground application.
+	ScaLapack = apps.ScaLapack
+	// GridNPB models the irregular workflow foreground application.
+	GridNPB = apps.GridNPB
+)
+
+// DefaultHTTP returns the paper's background traffic table for a duration.
+func DefaultHTTP(duration float64, seed int64) HTTPSpec {
+	return traffic.DefaultHTTP(duration, seed)
+}
+
+// DefaultScaLapack returns the paper's ScaLapack configuration.
+func DefaultScaLapack() ScaLapack { return apps.DefaultScaLapack() }
+
+// DefaultGridNPB returns the paper's GridNPB configuration.
+func DefaultGridNPB() GridNPB { return apps.DefaultGridNPB() }
+
+// Partitioner.
+type (
+	// Graph is the partitioner's weighted graph.
+	Graph = partition.Graph
+	// PartitionOptions tunes the multilevel partitioner.
+	PartitionOptions = partition.Options
+)
+
+// NewGraph returns an empty partition graph with n vertices and ncon
+// balance constraints.
+func NewGraph(n, ncon int) *Graph { return partition.NewGraph(n, ncon) }
+
+// Partition splits g into k balanced parts minimizing edge cut.
+func Partition(g *Graph, k int, opts PartitionOptions) ([]int, error) {
+	return partition.Partition(g, k, opts)
+}
+
+// Emulator.
+type (
+	// EmuConfig describes one emulation run at the emulator level.
+	EmuConfig = emu.Config
+	// EmuResult reports an emulation's metrics.
+	EmuResult = emu.Result
+)
+
+// RunEmulation executes one emulation directly (most callers use Scenario).
+func RunEmulation(cfg EmuConfig) (*EmuResult, error) { return emu.Run(cfg) }
+
+// SpreadHosts picks n application injection points spread evenly over the
+// network's hosts.
+func SpreadHosts(nw *Network, n int) []int { return core.SpreadHosts(nw, n) }
+
+// ---- Extensions beyond the headline pipeline ----
+
+// Additional traffic generators (see traffic.CBRSpec, traffic.OnOffSpec).
+type (
+	// CBRSpec is a constant-bit-rate background condition.
+	CBRSpec = traffic.CBRSpec
+	// OnOffSpec is an exponential on/off bursty background condition.
+	OnOffSpec = traffic.OnOffSpec
+)
+
+// DefaultCBR returns a moderate constant-bit-rate background condition.
+func DefaultCBR(duration float64, seed int64) CBRSpec { return traffic.DefaultCBR(duration, seed) }
+
+// DefaultOnOff returns a bursty on/off background condition.
+func DefaultOnOff(duration float64, seed int64) OnOffSpec {
+	return traffic.DefaultOnOff(duration, seed)
+}
+
+// Flow transport models for the emulator (Scenario.Transport).
+const (
+	// Blast releases all of a flow's packet groups at its start time.
+	Blast = emu.Blast
+	// TCPSlowStart paces packet groups with TCP-like window growth.
+	TCPSlowStart = emu.TCPSlowStart
+)
+
+// DynamicResult reports a dynamically remapped emulation (Scenario.RunDynamic,
+// the paper's §6 future work).
+type DynamicResult = core.DynamicResult
+
+// Baseline (traffic-blind) mapping strategies from the paper's §5 discussion.
+const (
+	// KCluster is the randomized greedy k-cluster baseline.
+	KCluster = mapping.KCluster
+	// Hier is the simple hierarchical (BFS-slice) baseline.
+	Hier = mapping.Hier
+)
+
+// ImprovePartition refines an existing assignment in place under the graph's
+// current weights, returning the number of vertices moved — the primitive
+// behind low-migration incremental remapping.
+func ImprovePartition(g *Graph, part []int, k int, opts PartitionOptions) (int, error) {
+	return partition.Improve(g, part, k, opts)
+}
+
+// Partitioning strategies (PartitionOptions.Strategy).
+const (
+	// KWay is direct multilevel k-way partitioning (default).
+	KWay = partition.KWay
+	// RecursiveBisection recursively bisects, METIS pmetis style.
+	RecursiveBisection = partition.RecursiveBisection
+)

@@ -1,0 +1,134 @@
+package repro
+
+import (
+	"testing"
+)
+
+// The facade is a thin re-export layer; these tests pin that the exported
+// names compose into working flows without reaching into internal packages.
+
+func TestFacadeTopologies(t *testing.T) {
+	for _, name := range []string{"Campus", "TeraGrid", "Brite", "Brite-large"} {
+		nw, err := TopologyByName(name, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if nw.NumNodes() == 0 {
+			t.Fatalf("%s: empty network", name)
+		}
+	}
+	if _, err := TopologyByName("nope", 1); err == nil {
+		t.Error("unknown topology accepted")
+	}
+	if nw := Brite(BriteConfig{Routers: 20, Hosts: 10, Seed: 1}); nw.NumRouters() != 20 {
+		t.Error("Brite facade wrong")
+	}
+}
+
+func TestFacadePartition(t *testing.T) {
+	g := NewGraph(12, 1)
+	for v := 0; v < 12; v++ {
+		g.AddEdge(v, (v+1)%12, 1)
+	}
+	part, err := Partition(g, 3, PartitionOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != 12 {
+		t.Fatal("bad assignment length")
+	}
+	moved, err := ImprovePartition(g, part, 3, PartitionOptions{Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved < 0 {
+		t.Fatal("negative moves")
+	}
+}
+
+func TestFacadeScenarioWithAllBackgrounds(t *testing.T) {
+	nw := Campus()
+	scenarios := []*Scenario{
+		{Network: nw, Engines: 2, Background: DefaultHTTP(5, 1)},
+		{Network: nw, Engines: 2, Background: DefaultCBR(5, 1)},
+		{Network: nw, Engines: 2, Background: DefaultOnOff(5, 1)},
+	}
+	for i, sc := range scenarios {
+		out, err := sc.Run(Place)
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		if out.Result.Kernel.TotalCharges() == 0 {
+			t.Fatalf("scenario %d: no load", i)
+		}
+	}
+}
+
+func TestFacadeRunEmulation(t *testing.T) {
+	nw := Campus()
+	w := DefaultHTTP(5, 2).Generate(nw)
+	assign := make([]int, nw.NumNodes())
+	for v := range assign {
+		assign[v] = v % 2
+	}
+	res, err := RunEmulation(EmuConfig{
+		Network: nw, Assignment: assign, NumEngines: 2, Workload: w,
+		Transport: TCPSlowStart,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Imbalance < 0 {
+		t.Fatal("negative imbalance")
+	}
+}
+
+func TestFacadeApproachConstants(t *testing.T) {
+	if len(Approaches()) != 3 {
+		t.Fatal("Approaches() wrong")
+	}
+	if Top != "TOP" || Place != "PLACE" || Profile != "PROFILE" {
+		t.Error("approach constants wrong")
+	}
+	if KCluster != "KCLUSTER" || Hier != "HIER" {
+		t.Error("baseline constants wrong")
+	}
+}
+
+func TestFacadeApps(t *testing.T) {
+	s := DefaultScaLapack()
+	if s.Hosts() != 10 {
+		t.Error("ScaLapack hosts")
+	}
+	g := DefaultGridNPB()
+	if g.Hosts() != 10 {
+		t.Error("GridNPB hosts")
+	}
+	nw := TeraGrid()
+	hosts := SpreadHosts(nw, 10)
+	if len(hosts) != 10 {
+		t.Error("SpreadHosts")
+	}
+	w := s.Generate(hosts, 1)
+	if len(w.Flows) == 0 {
+		t.Error("no app flows")
+	}
+}
+
+func TestFacadeDynamic(t *testing.T) {
+	app := DefaultGridNPB()
+	app.Duration = 12
+	sc := &Scenario{
+		Network: Campus(), Engines: 2,
+		Background: DefaultHTTP(12, 1),
+		App:        app, AppSeed: 1,
+	}
+	var res *DynamicResult
+	res, err := sc.RunDynamic(6, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) != 2 {
+		t.Fatalf("segments = %d, want 2", len(res.Segments))
+	}
+}
