@@ -11,6 +11,16 @@
 //
 // Topologies: Campus, TeraGrid, Brite, Brite-large. Apps: ScaLapack,
 // GridNPB, none. Approaches: TOP, PLACE, PROFILE, all.
+//
+// Fault injection: repeat -fault to build a deterministic schedule —
+//
+//	massf -topology Campus -fault crash:1@30 -fault slow:0@10-20x4 -checkpoint 5
+//
+// crash:E@T kills engine E at virtual time T (recovered by checkpoint
+// rollback and remapping onto the survivors); slow:E@T1-T2xF runs engine E F
+// times slower over [T1,T2); degrade@T1-T2xF multiplies the cross-engine
+// message cost. -naive-recovery dumps a dead engine's nodes onto one
+// survivor instead of repartitioning, for comparison.
 package main
 
 import (
@@ -19,12 +29,23 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netdesc"
 	"repro/internal/traffic"
 )
+
+// multiFlag collects repeated string flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return fmt.Sprint(*m) }
+func (m *multiFlag) Set(v string) error {
+	*m = append(*m, v)
+	return nil
+}
 
 func main() {
 	var (
@@ -41,7 +62,12 @@ func main() {
 		stats    = flag.Bool("stats", false, "print topology statistics and exit")
 		record   = flag.String("record", "", "write the generated workload trace to this file")
 		replay   = flag.String("trace", "", "emulate a previously recorded workload trace instead of generating traffic")
+
+		checkpoint = flag.Float64("checkpoint", 10, "barrier-checkpoint interval in virtual seconds (with crash faults)")
+		naive      = flag.Bool("naive-recovery", false, "recover crashes by dumping onto one survivor instead of remapping")
 	)
+	var faultSpecs multiFlag
+	flag.Var(&faultSpecs, "fault", "fault spec (crash:E@T | slow:E@T1-T2xF | degrade@T1-T2xF); repeatable")
 	flag.Parse()
 
 	cfg := experiments.Config{Duration: *duration, Seed: *seed, Sequential: *seq}
@@ -125,18 +151,50 @@ func main() {
 		sc.Name, sc.Network.NumNodes(), sc.Network.NumRouters(), sc.Network.NumHosts(),
 		sc.Engines, len(w.Flows), float64(w.TotalBytes())/1e6)
 
+	var sched *faults.Schedule
+	if len(faultSpecs) > 0 {
+		sched, err = faults.Parse(faultSpecs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("fault schedule: %s\n", sched)
+	}
+
 	fmt.Printf("%-8s %10s %12s %12s %10s %9s %10s %9s\n",
 		"approach", "imbalance", "app-time(s)", "net-time(s)", "lookahead", "windows", "remote-ev", "wall")
 	for _, a := range approaches {
 		start := time.Now()
-		o, err := sc.Run(a)
-		if err != nil {
-			fatal(fmt.Errorf("%s: %w", a, err))
+		var o *core.Outcome
+		if sched != nil {
+			ro, err := sc.RunResilient(core.FaultOptions{
+				Schedule:        sched,
+				CheckpointEvery: *checkpoint,
+				Approach:        a,
+				Naive:           *naive,
+			})
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", a, err))
+			}
+			o = &core.Outcome{Approach: a, Assignment: ro.FinalAssignment, Result: ro.Result, ProfileRun: ro.ProfileRun}
+		} else {
+			var err error
+			o, err = sc.Run(a)
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", a, err))
+			}
 		}
 		r := o.Result
 		fmt.Printf("%-8s %10.3f %12.1f %12.1f %9.2gms %9d %10d %9s\n",
 			a, r.Imbalance, r.AppTime, r.NetTime, r.Lookahead*1e3,
 			r.Kernel.Windows, r.RemoteEvents, time.Since(start).Round(time.Millisecond))
+		if rec := r.Recovery; rec != nil {
+			fmt.Printf("         recovery: %d crash(es) %v, %d checkpoint(s), downtime %.3fs, "+
+				"replayed %d events, migrated %d nodes\n",
+				rec.Failures, rec.DeadEngines, rec.Checkpoints, rec.Downtime,
+				rec.ReplayedEvents, rec.Migrations)
+			fmt.Printf("         imbalance pre-failure %.3f -> post-recovery %.3f (surviving engines)\n",
+				rec.PreFailureImbalance, rec.PostRecoveryImbalance)
+		}
 		if *verbose {
 			fmt.Printf("         engine loads: %v (max/mean %.2f)\n",
 				r.EngineLoads, metrics.MaxOverMean(r.EngineLoads))

@@ -19,12 +19,15 @@ func main() {
 	const duration = 45.0
 	const engines = 20
 
-	network := repro.Brite(repro.BriteConfig{
+	network, err := repro.Brite(repro.BriteConfig{
 		Routers:           200,
 		Hosts:             364,
 		LinksPerNewRouter: 2,
 		Seed:              3,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("BRITE network: %d routers, %d hosts, %d links (single AS)\n",
 		network.NumRouters(), network.NumHosts(), len(network.Links))
 

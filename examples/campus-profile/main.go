@@ -29,7 +29,10 @@ func main() {
 
 	app := repro.DefaultGridNPB()
 	app.Duration = duration
-	workloadApp := app.Generate(repro.SpreadHosts(network, app.Hosts()), 1)
+	workloadApp, err := app.Generate(repro.SpreadHosts(network, app.Hosts()), 1)
+	if err != nil {
+		log.Fatal(err)
+	}
 	background := repro.DefaultHTTP(duration, 2).Generate(network)
 	workload := mergeWorkloads(workloadApp, background)
 

@@ -26,8 +26,9 @@ type App interface {
 	Hosts() int
 	// Generate emits the application's flows over the given hosts. The
 	// returned workload's AppHosts equals hosts and Duration is the
-	// application's virtual runtime.
-	Generate(hosts []int, seed int64) traffic.Workload
+	// application's virtual runtime. It errors when the host slice does not
+	// match Hosts() — a configuration mistake, not an internal invariant.
+	Generate(hosts []int, seed int64) (traffic.Workload, error)
 }
 
 // ---- ScaLapack ----
@@ -69,9 +70,9 @@ func (s ScaLapack) Hosts() int { return s.PRows * s.PCols }
 
 // Generate implements App. The seed only jitters intra-iteration send times
 // slightly; the communication structure is fixed by the algorithm.
-func (s ScaLapack) Generate(hosts []int, seed int64) traffic.Workload {
+func (s ScaLapack) Generate(hosts []int, seed int64) (traffic.Workload, error) {
 	if len(hosts) != s.Hosts() {
-		panic(fmt.Sprintf("apps: ScaLapack needs %d hosts, got %d", s.Hosts(), len(hosts)))
+		return traffic.Workload{}, fmt.Errorf("apps: ScaLapack needs %d hosts, got %d", s.Hosts(), len(hosts))
 	}
 	rng := rand.New(rand.NewSource(seed))
 	grid := func(r, c int) int { return hosts[r*s.PCols+c] }
@@ -139,7 +140,7 @@ func (s ScaLapack) Generate(hosts []int, seed int64) traffic.Workload {
 	for i := range w.Flows {
 		w.Flows[i].ID = i
 	}
-	return w
+	return w, nil
 }
 
 // ---- GridNPB ----
@@ -277,9 +278,9 @@ func mbGraph() []gridTask {
 // Generate implements App: schedules HC, VP and MB concurrently, placing
 // tasks on hosts round-robin per graph with a seeded offset, simulating
 // compute time between communication bursts.
-func (g GridNPB) Generate(hosts []int, seed int64) traffic.Workload {
+func (g GridNPB) Generate(hosts []int, seed int64) (traffic.Workload, error) {
 	if len(hosts) != g.Hosts() {
-		panic(fmt.Sprintf("apps: GridNPB needs %d hosts, got %d", g.Hosts(), len(hosts)))
+		return traffic.Workload{}, fmt.Errorf("apps: GridNPB needs %d hosts, got %d", g.Hosts(), len(hosts))
 	}
 	rng := rand.New(rand.NewSource(seed))
 	duration := g.Duration
@@ -320,7 +321,7 @@ func (g GridNPB) Generate(hosts []int, seed int64) traffic.Workload {
 	for i := range w.Flows {
 		w.Flows[i].ID = i
 	}
-	return w
+	return w, nil
 }
 
 // scheduleGraph runs one pass of a task graph starting at t0, appending

@@ -14,6 +14,15 @@ func appHosts(n int) []int {
 	return nw.Hosts()[:n]
 }
 
+func mustGen(t *testing.T, a App, hosts []int, seed int64) traffic.Workload {
+	t.Helper()
+	w, err := a.Generate(hosts, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
 func TestScaLapackDefaults(t *testing.T) {
 	s := DefaultScaLapack()
 	if s.Hosts() != 10 {
@@ -30,7 +39,7 @@ func TestScaLapackDefaults(t *testing.T) {
 func TestScaLapackGenerate(t *testing.T) {
 	s := DefaultScaLapack()
 	hosts := appHosts(10)
-	w := s.Generate(hosts, 1)
+	w := mustGen(t, s, hosts, 1)
 	if len(w.Flows) == 0 {
 		t.Fatal("no flows")
 	}
@@ -64,7 +73,7 @@ func TestScaLapackTrafficIsEven(t *testing.T) {
 	// sent+received should have low normalized deviation.
 	s := DefaultScaLapack()
 	hosts := appHosts(10)
-	w := s.Generate(hosts, 2)
+	w := mustGen(t, s, hosts, 2)
 	byHost := make(map[int]float64)
 	for _, f := range w.Flows {
 		byHost[f.Src] += float64(f.Bytes)
@@ -83,7 +92,7 @@ func TestScaLapackShrinkingPanels(t *testing.T) {
 	// Later iterations factor smaller trailing matrices: early flows must be
 	// larger than late flows.
 	s := DefaultScaLapack()
-	w := s.Generate(appHosts(10), 3)
+	w := mustGen(t, s, appHosts(10), 3)
 	early, late := w.Flows[0].Bytes, w.Flows[len(w.Flows)-1].Bytes
 	if early <= late {
 		t.Errorf("panel sizes do not shrink: first %d, last %d", early, late)
@@ -93,8 +102,8 @@ func TestScaLapackShrinkingPanels(t *testing.T) {
 func TestScaLapackDeterminism(t *testing.T) {
 	s := DefaultScaLapack()
 	hosts := appHosts(10)
-	a := s.Generate(hosts, 5)
-	b := s.Generate(hosts, 5)
+	a := mustGen(t, s, hosts, 5)
+	b := mustGen(t, s, hosts, 5)
 	if len(a.Flows) != len(b.Flows) {
 		t.Fatal("nondeterministic flow count")
 	}
@@ -105,13 +114,13 @@ func TestScaLapackDeterminism(t *testing.T) {
 	}
 }
 
-func TestScaLapackPanicsOnWrongHostCount(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("wrong host count did not panic")
-		}
-	}()
-	DefaultScaLapack().Generate(appHosts(3), 1)
+func TestGenerateErrorsOnWrongHostCount(t *testing.T) {
+	if _, err := DefaultScaLapack().Generate(appHosts(3), 1); err == nil {
+		t.Error("ScaLapack: wrong host count did not error")
+	}
+	if _, err := DefaultGridNPB().Generate(appHosts(3), 1); err == nil {
+		t.Error("GridNPB: wrong host count did not error")
+	}
 }
 
 func TestGridNPBDefaults(t *testing.T) {
@@ -124,7 +133,7 @@ func TestGridNPBDefaults(t *testing.T) {
 func TestGridNPBGenerate(t *testing.T) {
 	g := DefaultGridNPB()
 	hosts := appHosts(10)
-	w := g.Generate(hosts, 1)
+	w := mustGen(t, g, hosts, 1)
 	if len(w.Flows) == 0 {
 		t.Fatal("no flows")
 	}
@@ -161,8 +170,8 @@ func TestGridNPBTrafficIsIrregular(t *testing.T) {
 	// The paper's premise: GridNPB traffic is irregular across hosts —
 	// substantially more imbalanced than ScaLapack's.
 	hosts := appHosts(10)
-	gw := DefaultGridNPB().Generate(hosts, 2)
-	sw := DefaultScaLapack().Generate(hosts, 2)
+	gw := mustGen(t, DefaultGridNPB(), hosts, 2)
+	sw := mustGen(t, DefaultScaLapack(), hosts, 2)
 	loadOf := func(w traffic.Workload) []float64 {
 		byHost := make(map[int]float64)
 		for _, f := range w.Flows {
@@ -186,7 +195,7 @@ func TestGridNPBBursty(t *testing.T) {
 	// Traffic should be concentrated in bursts: a large fraction of bytes
 	// lands in a small fraction of 10-second bins.
 	g := DefaultGridNPB()
-	w := g.Generate(appHosts(10), 4)
+	w := mustGen(t, g, appHosts(10), 4)
 	bins := make(map[int]float64)
 	var total float64
 	for _, f := range w.Flows {
@@ -207,8 +216,8 @@ func TestGridNPBBursty(t *testing.T) {
 
 func TestGridNPBDeterminism(t *testing.T) {
 	hosts := appHosts(10)
-	a := DefaultGridNPB().Generate(hosts, 7)
-	b := DefaultGridNPB().Generate(hosts, 7)
+	a := mustGen(t, DefaultGridNPB(), hosts, 7)
+	b := mustGen(t, DefaultGridNPB(), hosts, 7)
 	if len(a.Flows) != len(b.Flows) {
 		t.Fatal("nondeterministic flow count")
 	}
@@ -270,8 +279,8 @@ func TestScaLapackScaleBytes(t *testing.T) {
 	base := ScaLapack{N: 1000, NB: 100, PRows: 2, PCols: 5, Duration: 60}
 	scaled := base
 	scaled.ScaleBytes = 4
-	wb := base.Generate(hosts, 1)
-	ws := scaled.Generate(hosts, 1)
+	wb := mustGen(t, base, hosts, 1)
+	ws := mustGen(t, scaled, hosts, 1)
 	if ws.TotalBytes() < 3*wb.TotalBytes() || ws.TotalBytes() > 5*wb.TotalBytes() {
 		t.Errorf("ScaleBytes=4: %d vs base %d", ws.TotalBytes(), wb.TotalBytes())
 	}
@@ -287,7 +296,7 @@ func TestScaLapackCustomGrid(t *testing.T) {
 	}
 	nw := topogen.TeraGrid()
 	hosts := nw.Hosts()[:12]
-	w := s.Generate(hosts, 1)
+	w := mustGen(t, s, hosts, 1)
 	if err := w.Validate(nw); err != nil {
 		t.Fatal(err)
 	}
@@ -301,8 +310,8 @@ func TestGridNPBScaleBytes(t *testing.T) {
 	hosts := appHosts(10)
 	base := GridNPB{NumHosts: 10, Duration: 60, ScaleBytes: 1}
 	big := GridNPB{NumHosts: 10, Duration: 60, ScaleBytes: 3}
-	wb := base.Generate(hosts, 2)
-	ws := big.Generate(hosts, 2)
+	wb := mustGen(t, base, hosts, 2)
+	ws := mustGen(t, big, hosts, 2)
 	if ws.TotalBytes() < 2*wb.TotalBytes() {
 		t.Errorf("ScaleBytes=3 volume %d vs base %d", ws.TotalBytes(), wb.TotalBytes())
 	}
@@ -311,7 +320,7 @@ func TestGridNPBScaleBytes(t *testing.T) {
 func TestGridNPBDefaultsApplied(t *testing.T) {
 	// Zero-value Duration/ScaleBytes fall back inside Generate.
 	g := GridNPB{NumHosts: 10}
-	w := g.Generate(appHosts(10), 1)
+	w := mustGen(t, g, appHosts(10), 1)
 	if w.Duration != 900 {
 		t.Errorf("default duration = %v, want 900", w.Duration)
 	}

@@ -158,7 +158,11 @@ func (sc *Scenario) Workload() (traffic.Workload, error) {
 				"core: app %s needs %d hosts, network offers %d",
 				sc.App.Name(), sc.App.Hosts(), len(hosts))
 		}
-		parts = append(parts, sc.App.Generate(hosts, sc.AppSeed))
+		app, err := sc.App.Generate(hosts, sc.AppSeed)
+		if err != nil {
+			return traffic.Workload{}, err
+		}
+		parts = append(parts, app)
 	}
 	w := traffic.Merge(parts...)
 	if err := w.Validate(sc.Network); err != nil {

@@ -56,8 +56,10 @@ type DynamicResult struct {
 }
 
 // DefaultMigrationCost is the modeled stall per migrated node: shipping a
-// router's state (routing table, queues) across 100 Mb/s Ethernet.
-const DefaultMigrationCost = 50e-3
+// router's state (routing table, queues) across 100 Mb/s Ethernet. Shared
+// with crash recovery (emu.DefaultMigrationCost) so both remapping paths
+// price migrations identically.
+const DefaultMigrationCost = emu.DefaultMigrationCost
 
 // RunDynamic emulates the scenario in intervals of the given width,
 // remapping between intervals from each interval's NetFlow profile.

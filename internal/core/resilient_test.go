@@ -1,0 +1,167 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/emu"
+	"repro/internal/faults"
+	"repro/internal/topogen"
+	"repro/internal/traffic"
+)
+
+// faultScenario is a Campus run long enough for a mid-run crash: background
+// HTTP plus a compressed GridNPB foreground over 4 engines.
+func faultScenario() *Scenario {
+	app := apps.DefaultGridNPB()
+	app.Duration = 20
+	return &Scenario{
+		Name:       "campus-faults",
+		Network:    topogen.Campus(),
+		Engines:    4,
+		Background: traffic.DefaultHTTP(20, 3),
+		App:        app,
+		AppSeed:    1,
+		PartSeed:   7,
+	}
+}
+
+func midRunCrash() *faults.Schedule {
+	return &faults.Schedule{Crashes: []faults.Crash{{Engine: 1, At: 8}}}
+}
+
+func TestRunResilientNeedsSchedule(t *testing.T) {
+	if _, err := faultScenario().RunResilient(FaultOptions{}); err == nil {
+		t.Error("nil schedule accepted")
+	}
+}
+
+// TestCrashRecoveryAcceptance is the ISSUE's acceptance scenario: a Campus
+// run with one engine crash mid-run recovers onto the survivors, reports
+// recovery metrics, and partitioner-based remapping leaves the post-recovery
+// load strictly better balanced than the naive dump-on-one-survivor fallback.
+func TestCrashRecoveryAcceptance(t *testing.T) {
+	remap, err := faultScenario().RunResilient(FaultOptions{
+		Schedule:        midRunCrash(),
+		CheckpointEvery: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive, err := faultScenario().RunResilient(FaultOptions{
+		Schedule:        midRunCrash(),
+		CheckpointEvery: 4,
+		Naive:           true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, o := range []*ResilientOutcome{remap, naive} {
+		rec := o.Recovery()
+		if rec == nil {
+			t.Fatal("no recovery report")
+		}
+		if rec.Failures != 1 || len(rec.DeadEngines) != 1 || rec.DeadEngines[0] != 1 {
+			t.Fatalf("recovery = %+v, want one crash of engine 1", rec)
+		}
+		if rec.Downtime <= 0 || rec.ReplayedEvents <= 0 || rec.Migrations <= 0 {
+			t.Errorf("recovery metrics not populated: %+v", rec)
+		}
+		for v, e := range o.FinalAssignment {
+			if e == 1 {
+				t.Fatalf("node %d still on dead engine 1", v)
+			}
+		}
+		// Survivors did real post-recovery work.
+		if rec.PostRecoveryImbalance < 0 {
+			t.Errorf("PostRecoveryImbalance = %v", rec.PostRecoveryImbalance)
+		}
+	}
+
+	ri := remap.Recovery().PostRecoveryImbalance
+	ni := naive.Recovery().PostRecoveryImbalance
+	if ri >= ni {
+		t.Errorf("remap post-recovery imbalance %.3f not strictly below naive %.3f", ri, ni)
+	}
+	// The naive dump concentrates everything on one survivor; remapping
+	// spreads it, so it must also move at least as many nodes as the dead
+	// engine owned (both did) while balancing better.
+	t.Logf("post-recovery imbalance: remap=%.3f naive=%.3f (downtime %.3fs vs %.3fs, migrations %d vs %d)",
+		ri, ni,
+		remap.Recovery().Downtime, naive.Recovery().Downtime,
+		remap.Recovery().Migrations, naive.Recovery().Migrations)
+}
+
+func TestResilientDeterminism(t *testing.T) {
+	// Same seeds and config give byte-identical results across runs — both
+	// fault-free (crash-free schedule) and with a crash recovery in the
+	// middle.
+	run := func(sched *faults.Schedule) *ResilientOutcome {
+		out, err := faultScenario().RunResilient(FaultOptions{
+			Schedule:        sched,
+			CheckpointEvery: 4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	check := func(label string, a, b *ResilientOutcome) {
+		t.Helper()
+		if !reflect.DeepEqual(a.InitialAssignment, b.InitialAssignment) {
+			t.Errorf("%s: initial assignments differ", label)
+		}
+		if !reflect.DeepEqual(a.FinalAssignment, b.FinalAssignment) {
+			t.Errorf("%s: final assignments differ", label)
+		}
+		ra, rb := a.Result, b.Result
+		if !reflect.DeepEqual(ra.EngineLoads, rb.EngineLoads) {
+			t.Errorf("%s: engine loads differ: %v vs %v", label, ra.EngineLoads, rb.EngineLoads)
+		}
+		if ra.Imbalance != rb.Imbalance || ra.AppTime != rb.AppTime || ra.NetTime != rb.NetTime {
+			t.Errorf("%s: metrics differ: imb %v/%v app %v/%v net %v/%v", label,
+				ra.Imbalance, rb.Imbalance, ra.AppTime, rb.AppTime, ra.NetTime, rb.NetTime)
+		}
+		if !reflect.DeepEqual(ra.FlowFCTs, rb.FlowFCTs) {
+			t.Errorf("%s: FCTs differ", label)
+		}
+		if !reflect.DeepEqual(ra.Recovery, rb.Recovery) {
+			t.Errorf("%s: recovery reports differ: %+v vs %+v", label, ra.Recovery, rb.Recovery)
+		}
+	}
+
+	// Fault-free: a schedule with only a straggler (no crashes, no recovery).
+	calm := &faults.Schedule{
+		Stragglers: []faults.Straggler{{Engine: 0, From: 2, To: 6, Factor: 3}},
+	}
+	check("fault-free", run(calm), run(calm))
+	check("crash", run(midRunCrash()), run(midRunCrash()))
+}
+
+func TestNaiveRecoveryPicksLeastLoaded(t *testing.T) {
+	f := emu.EngineFailure{
+		Engine:     1,
+		Assignment: []int{0, 1, 1, 2, 3},
+		Alive:      []bool{true, false, true, true},
+		Loads:      []float64{50, 0, 10, 30},
+	}
+	next := NaiveRecovery(f)
+	for v, e := range f.Assignment {
+		if e == f.Engine {
+			if next[v] != 2 {
+				t.Errorf("node %d moved to %d, want least-loaded survivor 2", v, next[v])
+			}
+		} else if next[v] != e {
+			t.Errorf("node %d moved without reason: %d -> %d", v, e, next[v])
+		}
+	}
+}
+
+func TestDefaultMigrationCostShared(t *testing.T) {
+	// The recovery and dynamic-remap paths must price migrations identically.
+	if DefaultMigrationCost != 50e-3 {
+		t.Errorf("DefaultMigrationCost = %v, want 50e-3", DefaultMigrationCost)
+	}
+}

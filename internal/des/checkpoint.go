@@ -1,0 +1,128 @@
+package des
+
+import (
+	"fmt"
+	"sort"
+)
+
+// LPFailure signals the fail-stop death of one logical process (a crashed
+// simulation-engine node). An OnBarrier hook returns it (possibly wrapped) to
+// stop the run at the barrier where the death is detected; callers recognize
+// it with errors.As and recover through Checkpoint/Restore.
+type LPFailure struct {
+	// LP is the dead logical process.
+	LP int
+	// Time is the virtual time of the failure (at or before the barrier that
+	// detected it — a conservative kernel only observes death at barriers).
+	Time float64
+}
+
+func (f *LPFailure) Error() string {
+	return fmt.Sprintf("des: LP %d failed at t=%g", f.LP, f.Time)
+}
+
+// Checkpoint is a consistent snapshot of the kernel taken at a window
+// barrier: every pending event of every LP plus the cumulative run
+// statistics. At a barrier no handler is executing and all cross-LP events
+// have been merged into destination queues, so the queues alone are the
+// complete simulation state the kernel owns.
+type Checkpoint struct {
+	// Time is the virtual time of the barrier the snapshot was taken at.
+	Time float64
+	// events[lp] holds LP lp's pending events ordered by (Time, seq).
+	events [][]Event
+	stats  Stats
+}
+
+// PendingEvents returns the total number of events captured in the snapshot.
+func (cp *Checkpoint) PendingEvents() int {
+	n := 0
+	for _, q := range cp.events {
+		n += len(q)
+	}
+	return n
+}
+
+// Stats returns a copy of the run statistics at the checkpoint.
+func (cp *Checkpoint) Stats() Stats {
+	s := cp.stats
+	s.Events = append([]int64(nil), cp.stats.Events...)
+	s.Charges = append([]int64(nil), cp.stats.Charges...)
+	s.RemoteSends = append([]int64(nil), cp.stats.RemoteSends...)
+	return s
+}
+
+// Checkpoint snapshots the kernel at virtual time at. It is only safe where
+// no handler runs: before Run, or inside an OnBarrier hook (at = windowEnd).
+func (k *Kernel) Checkpoint(at float64) *Checkpoint {
+	n := k.cfg.NumLPs
+	cp := &Checkpoint{Time: at, events: make([][]Event, n)}
+	for lp := 0; lp < n; lp++ {
+		evs := append([]Event(nil), k.queues[lp]...)
+		sort.Slice(evs, func(i, j int) bool {
+			if evs[i].Time != evs[j].Time {
+				return evs[i].Time < evs[j].Time
+			}
+			return evs[i].seq < evs[j].seq
+		})
+		cp.events[lp] = evs
+	}
+	src := k.runStats
+	if src == nil {
+		src = k.base
+	}
+	if src != nil {
+		cp.stats = *src
+		cp.stats.Events = append([]int64(nil), src.Events...)
+		cp.stats.Charges = append([]int64(nil), src.Charges...)
+		cp.stats.RemoteSends = append([]int64(nil), src.RemoteSends...)
+	} else {
+		cp.stats = Stats{
+			Events:      make([]int64, n),
+			Charges:     make([]int64, n),
+			RemoteSends: make([]int64, n),
+		}
+	}
+	return cp
+}
+
+// Restore reinstalls a checkpoint, discarding the kernel's current queues
+// and statistics, and re-arms Run. Each pending event is offered to remap
+// (nil keeps the original owner): the returned LP becomes the event's new
+// owner — how a recovery moves a dead engine's events onto survivors — and
+// returning ok=false drops the event. When lookahead > 0 it replaces the
+// window width, since a changed assignment cuts a different set of links.
+// Events are reinserted in a deterministic order (LP, then time, then
+// original sequence), so a restored run replays identically.
+func (k *Kernel) Restore(cp *Checkpoint, lookahead float64, remap func(Event) (int, bool)) error {
+	n := k.cfg.NumLPs
+	if len(cp.events) != n {
+		return fmt.Errorf("des: checkpoint covers %d LPs, kernel has %d", len(cp.events), n)
+	}
+	if lookahead > 0 {
+		k.cfg.Lookahead = lookahead
+	}
+	k.queues = make([]eventHeap, n)
+	k.seqs = make([]int64, n)
+	for lp := 0; lp < n; lp++ {
+		for _, ev := range cp.events[lp] {
+			nlp := ev.LP
+			if remap != nil {
+				var ok bool
+				nlp, ok = remap(ev)
+				if !ok {
+					continue
+				}
+			}
+			if nlp < 0 || nlp >= n {
+				return fmt.Errorf("des: restore remapped event at t=%g to invalid LP %d", ev.Time, nlp)
+			}
+			ev.LP = nlp
+			k.pushLocal(nlp, ev)
+		}
+	}
+	base := cp.Stats()
+	k.base = &base
+	k.ran = false
+	return nil
+}

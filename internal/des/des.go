@@ -68,6 +68,14 @@ type Config struct {
 	Handler Handler
 	// Observer, if non-nil, receives per-window load statistics.
 	Observer WindowObserver
+	// OnBarrier, if non-nil, is called after each window's barrier — after
+	// handler errors are checked, outboxes merged, and the Observer has run —
+	// on the coordinating goroutine. No handler executes concurrently, so the
+	// hook may safely take a Checkpoint. Returning a non-nil error stops the
+	// run: Run returns that error together with the statistics accumulated so
+	// far (including the window just completed), which is how an engine crash
+	// (LPFailure) surfaces without corrupting state.
+	OnBarrier func(windowStart, windowEnd float64) error
 	// EndTime, if positive, stops the run once the next event would fire at
 	// or beyond this virtual time.
 	EndTime float64
@@ -158,11 +166,20 @@ func (s *Scheduler) fail(err error) {
 }
 
 // Kernel is the parallel event engine. Create with New, seed initial events
-// with Schedule, then call Run once.
+// with Schedule, then call Run once. After a Restore the kernel may be Run
+// again, resuming from the restored checkpoint.
 type Kernel struct {
 	cfg    Config
 	queues []eventHeap
 	seqs   []int64
+
+	// base carries statistics across Restore/Run cycles: a resumed Run
+	// continues accumulating from the restored checkpoint's counters.
+	base *Stats
+	// runStats points at the live statistics during Run so Checkpoint can
+	// snapshot them at a barrier.
+	runStats *Stats
+	ran      bool
 }
 
 // New validates cfg and returns a kernel ready for initial event injection.
@@ -203,8 +220,14 @@ func (k *Kernel) pushLocal(lp int, ev Event) {
 }
 
 // Run executes the simulation to completion (or EndTime) and returns
-// statistics. It must be called at most once.
+// statistics. It may be called once per New or Restore. When resuming from a
+// checkpoint, the returned statistics continue from the checkpoint's counters
+// (WallTime likewise accumulates across segments).
 func (k *Kernel) Run() (*Stats, error) {
+	if k.ran {
+		return nil, fmt.Errorf("des: Run called again without Restore")
+	}
+	k.ran = true
 	n := k.cfg.NumLPs
 	L := k.cfg.Lookahead
 	stats := &Stats{
@@ -212,6 +235,18 @@ func (k *Kernel) Run() (*Stats, error) {
 		Charges:     make([]int64, n),
 		RemoteSends: make([]int64, n),
 	}
+	baseWall := time.Duration(0)
+	if k.base != nil {
+		copy(stats.Events, k.base.Events)
+		copy(stats.Charges, k.base.Charges)
+		copy(stats.RemoteSends, k.base.RemoteSends)
+		stats.Windows = k.base.Windows
+		stats.SkippedTime = k.base.SkippedTime
+		stats.VirtualEnd = k.base.VirtualEnd
+		baseWall = k.base.WallTime
+	}
+	k.runStats = stats
+	defer func() { k.runStats = nil }()
 	start := time.Now()
 
 	scheds := make([]*Scheduler, n)
@@ -282,10 +317,16 @@ func (k *Kernel) Run() (*Stats, error) {
 		}
 		stats.Windows++
 		stats.VirtualEnd = windowEnd
+		if k.cfg.OnBarrier != nil {
+			if err := k.cfg.OnBarrier(T, windowEnd); err != nil {
+				stats.WallTime = baseWall + time.Since(start)
+				return stats, err
+			}
+		}
 		T = windowEnd
 	}
 
-	stats.WallTime = time.Since(start)
+	stats.WallTime = baseWall + time.Since(start)
 	return stats, nil
 }
 

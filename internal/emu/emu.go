@@ -31,6 +31,7 @@ import (
 	"math"
 
 	"repro/internal/des"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netflow"
 	"repro/internal/netgraph"
@@ -123,6 +124,28 @@ type Config struct {
 	MinLookahead float64
 	// Sequential forces the kernel to run single-threaded.
 	Sequential bool
+
+	// Faults optionally injects a deterministic fault schedule — engine
+	// crashes, straggler slowdowns, cluster-link degradation (see
+	// internal/faults). Stragglers and degradations scale the cost model;
+	// crashes trigger checkpoint rollback and OnCrash-driven remapping.
+	Faults *faults.Schedule
+	// CheckpointEvery is the virtual-time interval between barrier
+	// checkpoints when Faults contains crashes (default
+	// DefaultCheckpointEvery). Recovery rolls back to the latest checkpoint,
+	// so the interval bounds how much emulation a crash forces to replay.
+	CheckpointEvery float64
+	// OnCrash computes the recovery assignment after an engine crash: given
+	// the failure context it must return a full node→engine assignment using
+	// only surviving engines. Required when Faults contains crashes — the
+	// emulator detects and rolls back, but repartitioning policy lives with
+	// the caller (core.RunResilient supplies the remapping and naive
+	// fallbacks).
+	OnCrash func(f EngineFailure) ([]int, error)
+	// MigrationCost is the modeled recovery stall per virtual node that
+	// changes engines (default DefaultMigrationCost, the dynamic-remap state
+	// transfer model).
+	MigrationCost float64
 }
 
 // Result reports a completed run.
@@ -159,6 +182,12 @@ type Result struct {
 	// LinkBytes[l] is the total bytes carried by link l over the run (both
 	// directions) — the utilization view a network operator would pull.
 	LinkBytes []int64
+	// FinalAssignment is the node→engine assignment at the end of the run.
+	// It equals Config.Assignment unless a crash recovery remapped nodes.
+	FinalAssignment []int
+	// Recovery reports fault handling; nil when the fault schedule had no
+	// crashes.
+	Recovery *Recovery
 }
 
 // FCTStats summarizes the completed flows' completion times: count, mean,
@@ -299,24 +328,6 @@ func Run(cfg Config) (*Result, error) {
 	if len(speeds) != cfg.NumEngines {
 		speeds = nil
 	}
-	speedOf := func(lp int) float64 {
-		if speeds == nil || speeds[lp] <= 0 {
-			return 1
-		}
-		return speeds[lp]
-	}
-
-	e := &emulation{
-		cfg:       &cfg,
-		nw:        nw,
-		busyUntil: busyUntil,
-		linkBytes: linkBytes,
-		drops:     drops,
-		delivered: delivered,
-		fcts:      fcts,
-		collector: collector,
-		series:    engineSeries,
-	}
 
 	// Time model. A strict per-window max would over-penalize sub-
 	// millisecond burstiness: a real engine that falls briefly behind in
@@ -326,43 +337,46 @@ func Run(cfg Config) (*Result, error) {
 	// buckets (the paper's own 2-second measurement interval) and take the
 	// cross-engine max per bucket, while synchronization is still charged
 	// per executed window — the term the latency objective minimizes.
-	engineBusy := make([]float64, cfg.NumEngines)
+	// The accumulators live on the emulation struct so a crash recovery can
+	// snapshot and roll them back together with the kernel's queues.
 	bucketCost := make([][]float64, buckets)
 	for b := range bucketCost {
 		bucketCost[b] = make([]float64, cfg.NumEngines)
 	}
-	bucketSync := make([]float64, buckets)
-	bucketBusyWidth := make([]float64, buckets)
-	bucketOf := func(t float64) int {
-		b := int(t / cfg.BucketWidth)
-		if b < 0 {
-			b = 0
-		}
-		if b >= buckets {
-			b = buckets - 1
-		}
-		return b
-	}
-	observer := func(start, end float64, charges, remote []int64) {
-		b := bucketOf(start)
-		for lp := 0; lp < cfg.NumEngines; lp++ {
-			c := (float64(charges[lp])*cost.PerEvent + float64(remote[lp])*cost.PerRemote) / speedOf(lp)
-			engineBusy[lp] += c
-			bucketCost[b][lp] += c
-			e.series.Add(start, lp, float64(charges[lp]))
-		}
-		bucketSync[b] += cost.PerWindow
-		bucketBusyWidth[b] += end - start
+	e := &emulation{
+		cfg:             &cfg,
+		nw:              nw,
+		assignment:      append([]int(nil), cfg.Assignment...),
+		busyUntil:       busyUntil,
+		linkBytes:       linkBytes,
+		drops:           drops,
+		delivered:       delivered,
+		fcts:            fcts,
+		collector:       collector,
+		series:          engineSeries,
+		cost:            cost,
+		speeds:          speeds,
+		buckets:         buckets,
+		engineBusy:      make([]float64, cfg.NumEngines),
+		bucketCost:      bucketCost,
+		bucketSync:      make([]float64, buckets),
+		bucketBusyWidth: make([]float64, buckets),
 	}
 
-	kernel, err := des.New(des.Config{
+	desCfg := des.Config{
 		NumLPs:     cfg.NumEngines,
 		Lookahead:  lookahead,
 		Handler:    e.handle,
-		Observer:   observer,
+		Observer:   e.observe,
 		EndTime:    cfg.EndTime,
 		Sequential: cfg.Sequential,
-	})
+	}
+	if cfg.Faults.HasCrashes() {
+		// The hook target is installed by runResilient once the kernel
+		// exists; the indirection keeps des.Config construction simple.
+		desCfg.OnBarrier = func(ws, we float64) error { return e.barrier(ws, we) }
+	}
+	kernel, err := des.New(desCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -371,12 +385,12 @@ func Run(cfg Config) (*Result, error) {
 		if cfg.EndTime > 0 && fr.start >= cfg.EndTime {
 			continue
 		}
-		if err := kernel.Schedule(cfg.Assignment[fr.src], fr.start, flowStart{flow: fr}); err != nil {
+		if err := kernel.Schedule(e.assignment[fr.src], fr.start, flowStart{flow: fr}); err != nil {
 			return nil, err
 		}
 	}
 
-	stats, err := kernel.Run()
+	stats, recovery, err := e.runResilient(kernel)
 	if err != nil {
 		return nil, err
 	}
@@ -385,19 +399,24 @@ func Run(cfg Config) (*Result, error) {
 	for b := 0; b < buckets; b++ {
 		maxCost := 0.0
 		for lp := 0; lp < cfg.NumEngines; lp++ {
-			if bucketCost[b][lp] > maxCost {
-				maxCost = bucketCost[b][lp]
+			if e.bucketCost[b][lp] > maxCost {
+				maxCost = e.bucketCost[b][lp]
 			}
 		}
-		c := maxCost + bucketSync[b]
+		c := maxCost + e.bucketSync[b]
 		netTime += c
-		if c < bucketBusyWidth[b] {
-			c = bucketBusyWidth[b]
+		if c < e.bucketBusyWidth[b] {
+			c = e.bucketBusyWidth[b]
 		}
 		appTime += c
 	}
 	// Idle virtual time still elapses in a real-time-paced emulation.
 	appTime += stats.SkippedTime
+	if recovery != nil {
+		// Recovery stalls (failure detection, rollback re-emulation,
+		// migration state transfer) dilate the paced execution.
+		appTime += recovery.Downtime
+	}
 
 	loads := make([]float64, cfg.NumEngines)
 	for lp := range loads {
@@ -410,24 +429,26 @@ func Run(cfg Config) (*Result, error) {
 
 	linkTotals := make([]int64, len(nw.Links))
 	var dropped int64
-	for l := range linkBytes {
-		linkTotals[l] = linkBytes[l][0] + linkBytes[l][1]
-		dropped += drops[l][0] + drops[l][1]
+	for l := range e.linkBytes {
+		linkTotals[l] = e.linkBytes[l][0] + e.linkBytes[l][1]
+		dropped += e.drops[l][0] + e.drops[l][1]
 	}
 	return &Result{
-		Kernel:         stats,
-		Lookahead:      lookahead,
-		EngineLoads:    loads,
-		Imbalance:      metrics.Imbalance(loads),
-		AppTime:        appTime,
-		NetTime:        netTime,
-		EngineBusy:     engineBusy,
-		EngineSeries:   engineSeries,
-		NetFlow:        collector,
-		RemoteEvents:   remoteTotal,
-		FlowFCTs:       fcts,
-		LinkBytes:      linkTotals,
-		DroppedPackets: dropped,
+		Kernel:          stats,
+		Lookahead:       lookahead,
+		EngineLoads:     loads,
+		Imbalance:       metrics.Imbalance(loads),
+		AppTime:         appTime,
+		NetTime:         netTime,
+		EngineBusy:      e.engineBusy,
+		EngineSeries:    e.series,
+		NetFlow:         e.collector,
+		RemoteEvents:    remoteTotal,
+		FlowFCTs:        e.fcts,
+		LinkBytes:       linkTotals,
+		DroppedPackets:  dropped,
+		FinalAssignment: append([]int(nil), e.assignment...),
+		Recovery:        recovery,
 	}, nil
 }
 
@@ -459,20 +480,88 @@ func validate(cfg *Config) error {
 	if cfg.BucketWidth <= 0 {
 		cfg.BucketWidth = 2
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(cfg.NumEngines); err != nil {
+			return err
+		}
+		if cfg.Faults.HasCrashes() {
+			if cfg.OnCrash == nil {
+				return fmt.Errorf("emu: fault schedule contains crashes but no OnCrash remapper is configured")
+			}
+			if cfg.CheckpointEvery <= 0 {
+				cfg.CheckpointEvery = DefaultCheckpointEvery
+			}
+		}
+	}
+	if cfg.MigrationCost <= 0 {
+		cfg.MigrationCost = DefaultMigrationCost
+	}
 	return nil
 }
 
-// emulation is the handler state shared by all engines during a run.
+// emulation is the handler state shared by all engines during a run. Every
+// field below assignment is mutated as the run progresses and is part of the
+// barrier-checkpoint snapshot; assignment itself only changes between kernel
+// segments during crash recovery.
 type emulation struct {
-	cfg       *Config
-	nw        *netgraph.Network
-	busyUntil [][2]float64
-	linkBytes [][2]int64
-	drops     [][2]int64
-	delivered []int64
-	fcts      []float64
-	collector *netflow.Collector
-	series    *metrics.Series
+	cfg        *Config
+	nw         *netgraph.Network
+	assignment []int
+	busyUntil  [][2]float64
+	linkBytes  [][2]int64
+	drops      [][2]int64
+	delivered  []int64
+	fcts       []float64
+	collector  *netflow.Collector
+	series     *metrics.Series
+
+	// Time-model accumulators, filled by the per-window observer.
+	cost            CostModel
+	speeds          []float64
+	buckets         int
+	engineBusy      []float64
+	bucketCost      [][]float64
+	bucketSync      []float64
+	bucketBusyWidth []float64
+
+	// barrier is the fault-injection hook target, installed by runResilient
+	// when the schedule contains crashes.
+	barrier func(ws, we float64) error
+}
+
+func (e *emulation) speedOf(lp int) float64 {
+	if e.speeds == nil || e.speeds[lp] <= 0 {
+		return 1
+	}
+	return e.speeds[lp]
+}
+
+func (e *emulation) bucketOf(t float64) int {
+	b := int(t / e.cfg.BucketWidth)
+	if b < 0 {
+		b = 0
+	}
+	if b >= e.buckets {
+		b = e.buckets - 1
+	}
+	return b
+}
+
+// observe accumulates one executed window into the time model. Straggler and
+// cluster-degradation faults scale the cost terms here: a slowed engine pays
+// more per kernel event, a degraded cluster network more per remote send.
+func (e *emulation) observe(start, end float64, charges, remote []int64) {
+	b := e.bucketOf(start)
+	for lp := 0; lp < e.cfg.NumEngines; lp++ {
+		evCost := float64(charges[lp]) * e.cost.PerEvent * e.cfg.Faults.SlowdownAt(lp, start)
+		rmCost := float64(remote[lp]) * e.cost.PerRemote * e.cfg.Faults.RemoteFactorAt(start)
+		c := (evCost + rmCost) / e.speedOf(lp)
+		e.engineBusy[lp] += c
+		e.bucketCost[b][lp] += c
+		e.series.Add(start, lp, float64(charges[lp]))
+	}
+	e.bucketSync[b] += e.cost.PerWindow
+	e.bucketBusyWidth[b] += end - start
 }
 
 // handle processes one DES event on engine lp.
@@ -556,5 +645,5 @@ func (e *emulation) arrive(t float64, c chunkArrival, s *des.Scheduler) {
 
 	next := f.path[c.hop+1]
 	c.hop++
-	s.Schedule(e.cfg.Assignment[next], arrival, c)
+	s.Schedule(e.assignment[next], arrival, c)
 }

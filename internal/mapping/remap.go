@@ -1,0 +1,159 @@
+package mapping
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/partition"
+)
+
+// RemapSurvivors redistributes the virtual network across the engines that
+// survive a crash. It is the recovery-path analogue of ProfileImprove: the
+// TOP partitioning instance (bandwidth + memory constraints, latency
+// objective) is rebuilt with reduced k — one part per surviving engine — the
+// previous assignment is relabeled onto the survivor index space (nodes
+// stranded on dead engines are seeded greedily onto the least-loaded
+// survivors), and partition.Improve refines from there, so surviving nodes
+// move only when the balance gain pays for the migration. engineLoads, when
+// provided, orders the greedy seeding by the survivors' measured load;
+// otherwise seeded bandwidth weight is used alone.
+//
+// The returned assignment is in engine-ID space (values drawn from
+// survivors) together with the number of nodes that changed engines.
+func RemapSurvivors(in Input, previous []int, survivors []int, engineLoads []float64) ([]int, int, error) {
+	if err := in.defaults(); err != nil {
+		return nil, 0, err
+	}
+	nw := in.Network
+	if len(previous) != nw.NumNodes() {
+		return nil, 0, fmt.Errorf("mapping: remap: previous assignment covers %d nodes, network has %d",
+			len(previous), nw.NumNodes())
+	}
+	if len(survivors) == 0 {
+		return nil, 0, fmt.Errorf("mapping: remap: no surviving engines")
+	}
+
+	slotOf := make(map[int]int, len(survivors))
+	for slot, eng := range survivors {
+		slotOf[eng] = slot
+	}
+	m := len(survivors)
+
+	if m == 1 {
+		// Nothing to balance: everything lands on the lone survivor.
+		next := make([]int, len(previous))
+		moved := 0
+		for v := range next {
+			next[v] = survivors[0]
+			if previous[v] != survivors[0] {
+				moved++
+			}
+		}
+		return next, moved, nil
+	}
+
+	// The TOP instance: bandwidth + memory constraints, latency objective —
+	// the information still available when the profiling of the current run
+	// was lost with the crash.
+	g := baseGraph(nw, 2)
+	for v := 0; v < nw.NumNodes(); v++ {
+		w := int64(math.Round(nw.TotalBandwidth(v) / 1e6))
+		if w < 1 {
+			w = 1
+		}
+		g.VWgt[v][0] = w
+	}
+	memoryWeights(nw, g, 1)
+	lat := latencyWeights(nw, g)
+
+	// Seed: surviving nodes keep their engine; stranded nodes go to the
+	// least-loaded survivor one by one (deterministic ID order), tracking
+	// the running bandwidth-weight tally so a big dead engine spreads over
+	// several survivors instead of piling onto one.
+	tally := make([]float64, m)
+	if len(engineLoads) > 0 {
+		for slot, eng := range survivors {
+			if eng < len(engineLoads) {
+				tally[slot] = engineLoads[eng]
+			}
+		}
+		// Normalize measured load into the same order of magnitude as the
+		// bandwidth weights so both regimes mix sensibly.
+		var maxLoad, maxW float64
+		for _, t := range tally {
+			if t > maxLoad {
+				maxLoad = t
+			}
+		}
+		for v := 0; v < nw.NumNodes(); v++ {
+			maxW += float64(g.VWgt[v][0])
+		}
+		if maxLoad > 0 {
+			for slot := range tally {
+				tally[slot] = tally[slot] / maxLoad * maxW / float64(m)
+			}
+		}
+	}
+	part := make([]int, len(previous))
+	for v, eng := range previous {
+		if slot, ok := slotOf[eng]; ok {
+			part[v] = slot
+			tally[slot] += float64(g.VWgt[v][0])
+		} else {
+			part[v] = -1
+		}
+	}
+	for v, slot := range part {
+		if slot >= 0 {
+			continue
+		}
+		best := 0
+		for s := 1; s < m; s++ {
+			if tally[s] < tally[best] {
+				best = s
+			}
+		}
+		part[v] = best
+		tally[best] += float64(g.VWgt[v][0])
+	}
+
+	// partition.Improve refuses empty parts; a survivor can end up empty if
+	// it owned no nodes before the crash and no stranded node reached it.
+	counts := make([]int, m)
+	for _, slot := range part {
+		counts[slot]++
+	}
+	for slot := 0; slot < m; slot++ {
+		if counts[slot] > 0 {
+			continue
+		}
+		donor := 0
+		for s := 1; s < m; s++ {
+			if counts[s] > counts[donor] {
+				donor = s
+			}
+		}
+		for v := len(part) - 1; v >= 0; v-- {
+			if part[v] == donor {
+				part[v] = slot
+				counts[donor]--
+				counts[slot]++
+				break
+			}
+		}
+	}
+
+	if _, err := partition.Improve(g.WithWeights(lat), part, m, in.PartOpts); err != nil {
+		return nil, 0, fmt.Errorf("mapping: remap: %w", err)
+	}
+
+	next := make([]int, len(part))
+	moved := 0
+	for v, slot := range part {
+		next[v] = survivors[slot]
+		if next[v] != previous[v] {
+			moved++
+		}
+	}
+	return next, moved, nil
+}

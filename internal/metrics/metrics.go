@@ -48,6 +48,22 @@ func Imbalance(loads []float64) float64 {
 	return StdDev(loads) / m
 }
 
+// ImbalanceSubset returns Imbalance over only the loads whose keep flag is
+// set — the post-recovery view of a cluster, where dead engines must not
+// drag the mean down. A nil keep considers every load.
+func ImbalanceSubset(loads []float64, keep []bool) float64 {
+	if keep == nil {
+		return Imbalance(loads)
+	}
+	kept := make([]float64, 0, len(loads))
+	for i, l := range loads {
+		if i < len(keep) && keep[i] {
+			kept = append(kept, l)
+		}
+	}
+	return Imbalance(kept)
+}
+
 // MaxOverMean is an auxiliary imbalance measure: max(load)/mean(load).
 // It bounds the slowdown of a barrier-synchronized execution and is used by
 // the ablation benches. Returns 1 for perfectly balanced loads, 0 when the
@@ -145,6 +161,19 @@ func NewSeries(bucketWidth float64, nodes, buckets int) *Series {
 		s.Loads[i] = make([]float64, nodes)
 	}
 	return s
+}
+
+// Clone returns a deep copy of the series — the basis of checkpointing the
+// emulator's bucketed load accounting.
+func (s *Series) Clone() *Series {
+	if s == nil {
+		return nil
+	}
+	out := &Series{BucketWidth: s.BucketWidth, Loads: make([][]float64, len(s.Loads))}
+	for i, row := range s.Loads {
+		out.Loads[i] = append([]float64(nil), row...)
+	}
+	return out
 }
 
 // Nodes returns the number of nodes (columns) in the series.

@@ -256,3 +256,44 @@ func TestSeriesString(t *testing.T) {
 		t.Error("String() empty")
 	}
 }
+
+func TestImbalanceSubset(t *testing.T) {
+	loads := []float64{10, 10, 0}
+	// Full set: the dead third engine drags imbalance up.
+	if got := ImbalanceSubset(loads, nil); got != Imbalance(loads) {
+		t.Errorf("nil keep = %v, want Imbalance %v", got, Imbalance(loads))
+	}
+	// Alive subset {0,1} is perfectly balanced.
+	if got := ImbalanceSubset(loads, []bool{true, true, false}); got != 0 {
+		t.Errorf("alive-subset imbalance = %v, want 0", got)
+	}
+	// Single survivor: zero by definition.
+	if got := ImbalanceSubset(loads, []bool{false, false, true}); got != 0 {
+		t.Errorf("single-survivor imbalance = %v, want 0", got)
+	}
+	// Short keep slice: out-of-range loads excluded.
+	if got := ImbalanceSubset(loads, []bool{true}); got != 0 {
+		t.Errorf("short keep = %v, want 0", got)
+	}
+}
+
+func TestSeriesClone(t *testing.T) {
+	s := NewSeries(2, 3, 4)
+	s.Add(1, 0, 5)
+	s.Add(3, 2, 7)
+	c := s.Clone()
+	if c.BucketWidth != 2 || c.Nodes() != 3 || c.Buckets() != 4 {
+		t.Fatalf("clone shape wrong: %+v", c)
+	}
+	c.Add(1, 0, 100)
+	if s.Loads[0][0] != 5 {
+		t.Error("clone shares backing storage with original")
+	}
+	if c.Loads[0][0] != 105 || c.Loads[1][2] != 7 {
+		t.Errorf("clone values wrong: %v", c.Loads)
+	}
+	var nilS *Series
+	if nilS.Clone() != nil {
+		t.Error("nil Clone not nil")
+	}
+}

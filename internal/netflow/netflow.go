@@ -105,6 +105,30 @@ func (c *Collector) Observe(node, flowID, src, dst, inLink int, packets, bytes i
 	c.series.Add(t, node, float64(packets))
 }
 
+// Clone returns a deep copy of the collector. The emulator checkpoints its
+// profiling state with it so a crash recovery can roll accounting back to
+// the last barrier without double-counting replayed windows.
+func (c *Collector) Clone() *Collector {
+	if c == nil {
+		return nil
+	}
+	cp := &Collector{
+		BucketWidth: c.BucketWidth,
+		perNode:     make([]map[flowKey]int, len(c.perNode)),
+		records:     make([][]Record, len(c.records)),
+		series:      c.series.Clone(),
+	}
+	for n := range c.perNode {
+		m := make(map[flowKey]int, len(c.perNode[n]))
+		for k, v := range c.perNode[n] {
+			m[k] = v
+		}
+		cp.perNode[n] = m
+		cp.records[n] = append([]Record(nil), c.records[n]...)
+	}
+	return cp
+}
+
 // Records returns all accumulated records in deterministic order (node, then
 // insertion order).
 func (c *Collector) Records() []Record {

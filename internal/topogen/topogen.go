@@ -183,10 +183,11 @@ type BriteConfig struct {
 // from plane distance; bandwidths are drawn from typical 2003 transit tiers.
 // Hosts attach to uniformly random routers on fast-Ethernet access links.
 // All routers share one AS, matching §4.2.3 ("all the routers are created in
-// a single AS").
-func Brite(cfg BriteConfig) *netgraph.Network {
+// a single AS"). It errors when the configuration asks for fewer than 2
+// routers — user input, not an internal invariant.
+func Brite(cfg BriteConfig) (*netgraph.Network, error) {
 	if cfg.Routers < 2 {
-		panic("topogen: Brite needs at least 2 routers")
+		return nil, fmt.Errorf("topogen: Brite needs at least 2 routers, got %d", cfg.Routers)
 	}
 	if cfg.LinksPerNewRouter < 1 {
 		cfg.LinksPerNewRouter = 2
@@ -273,7 +274,7 @@ func Brite(cfg BriteConfig) *netgraph.Network {
 		r := routers[rng.Intn(cfg.Routers)]
 		nw.AddLink(id, r, 100*Mbps, 0.5*ms)
 	}
-	return nw
+	return nw, nil
 }
 
 // pickPreferential samples an index from deg with probability proportional
@@ -310,9 +311,9 @@ func ByName(name string, seed int64) (*netgraph.Network, error) {
 	case "TeraGrid":
 		return TeraGrid(), nil
 	case "Brite":
-		return Brite(BriteConfig{Routers: 160, Hosts: 132, LinksPerNewRouter: 2, Seed: seed}), nil
+		return Brite(BriteConfig{Routers: 160, Hosts: 132, LinksPerNewRouter: 2, Seed: seed})
 	case "Brite-large":
-		return Brite(BriteConfig{Routers: 200, Hosts: 364, LinksPerNewRouter: 2, Seed: seed}), nil
+		return Brite(BriteConfig{Routers: 200, Hosts: 364, LinksPerNewRouter: 2, Seed: seed})
 	default:
 		return nil, fmt.Errorf("topogen: unknown topology %q", name)
 	}

@@ -1,6 +1,19 @@
 package topogen
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/netgraph"
+)
+
+func mustBrite(t *testing.T, cfg BriteConfig) *netgraph.Network {
+	t.Helper()
+	nw, err := Brite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
 
 func TestTable1Specs(t *testing.T) {
 	specs := Table1()
@@ -64,7 +77,7 @@ func TestTeraGridMatchesTable1(t *testing.T) {
 }
 
 func TestBriteMatchesTable1(t *testing.T) {
-	nw := Brite(BriteConfig{Routers: 160, Hosts: 132, LinksPerNewRouter: 2, Seed: 1})
+	nw := mustBrite(t, BriteConfig{Routers: 160, Hosts: 132, LinksPerNewRouter: 2, Seed: 1})
 	if err := nw.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -83,8 +96,8 @@ func TestBriteMatchesTable1(t *testing.T) {
 }
 
 func TestBriteDeterministic(t *testing.T) {
-	a := Brite(BriteConfig{Routers: 50, Hosts: 30, Seed: 7})
-	b := Brite(BriteConfig{Routers: 50, Hosts: 30, Seed: 7})
+	a := mustBrite(t, BriteConfig{Routers: 50, Hosts: 30, Seed: 7})
+	b := mustBrite(t, BriteConfig{Routers: 50, Hosts: 30, Seed: 7})
 	if len(a.Links) != len(b.Links) {
 		t.Fatal("same seed, different link counts")
 	}
@@ -93,7 +106,7 @@ func TestBriteDeterministic(t *testing.T) {
 			t.Fatalf("same seed, different link %d", i)
 		}
 	}
-	c := Brite(BriteConfig{Routers: 50, Hosts: 30, Seed: 8})
+	c := mustBrite(t, BriteConfig{Routers: 50, Hosts: 30, Seed: 8})
 	same := len(a.Links) == len(c.Links)
 	if same {
 		identical := true
@@ -112,7 +125,7 @@ func TestBriteDeterministic(t *testing.T) {
 func TestBritePreferentialAttachmentSkew(t *testing.T) {
 	// BA graphs have a hub structure: max degree should be well above the
 	// mean degree.
-	nw := Brite(BriteConfig{Routers: 200, Hosts: 0, LinksPerNewRouter: 2, Seed: 3})
+	nw := mustBrite(t, BriteConfig{Routers: 200, Hosts: 0, LinksPerNewRouter: 2, Seed: 3})
 	maxDeg, sumDeg := 0, 0
 	for _, r := range nw.Routers() {
 		d := len(nw.IncidentLinks(r))
@@ -129,7 +142,7 @@ func TestBritePreferentialAttachmentSkew(t *testing.T) {
 
 func TestBriteLarge(t *testing.T) {
 	spec := Table2Spec()
-	nw := Brite(BriteConfig{Routers: spec.Routers, Hosts: spec.Hosts, LinksPerNewRouter: 2, Seed: 11})
+	nw := mustBrite(t, BriteConfig{Routers: spec.Routers, Hosts: spec.Hosts, LinksPerNewRouter: 2, Seed: 11})
 	if err := nw.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -153,13 +166,10 @@ func TestByName(t *testing.T) {
 	}
 }
 
-func TestBritePanicsOnTinyConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("Brite with 1 router did not panic")
-		}
-	}()
-	Brite(BriteConfig{Routers: 1})
+func TestBriteErrorsOnTinyConfig(t *testing.T) {
+	if _, err := Brite(BriteConfig{Routers: 1}); err == nil {
+		t.Error("Brite with 1 router did not error")
+	}
 }
 
 func TestAllTopologiesRoutable(t *testing.T) {
@@ -185,7 +195,7 @@ func TestBriteIsSmallWorld(t *testing.T) {
 	// Barabási–Albert graphs have logarithmic diameters and hub-dominated
 	// degree distributions: for 200 routers, diameter well under 12 and a
 	// hub with degree >= 10.
-	nw := Brite(BriteConfig{Routers: 200, Hosts: 0, LinksPerNewRouter: 2, Seed: 5})
+	nw := mustBrite(t, BriteConfig{Routers: 200, Hosts: 0, LinksPerNewRouter: 2, Seed: 5})
 	s := nw.ComputeStats()
 	if s.Diameter < 3 || s.Diameter > 12 {
 		t.Errorf("BA diameter = %d, want small-world range", s.Diameter)

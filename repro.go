@@ -32,6 +32,7 @@ import (
 	"repro/internal/apps"
 	"repro/internal/core"
 	"repro/internal/emu"
+	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/netgraph"
 	"repro/internal/partition"
@@ -189,6 +190,36 @@ const (
 func ImprovePartition(g *Graph, part []int, k int, opts PartitionOptions) (int, error) {
 	return partition.Improve(g, part, k, opts)
 }
+
+// Fault injection and checkpoint/recovery (Scenario.RunResilient).
+type (
+	// FaultSchedule is a deterministic schedule of engine crashes,
+	// stragglers, and cluster-interconnect degradations.
+	FaultSchedule = faults.Schedule
+	// FaultOptions configures a resilient run: schedule, checkpoint
+	// interval, and the recovery policy (remap vs naive dump).
+	FaultOptions = core.FaultOptions
+	// ResilientOutcome is the result of Scenario.RunResilient.
+	ResilientOutcome = core.ResilientOutcome
+	// Recovery reports crash-recovery metrics: downtime, replayed events,
+	// migrations, and pre/post-recovery imbalance.
+	Recovery = emu.Recovery
+)
+
+// ParseFaults builds a fault schedule from command-line style specs:
+// "crash:E@T", "slow:E@T1-T2xF", "degrade@T1-T2xF".
+func ParseFaults(specs []string) (*FaultSchedule, error) { return faults.Parse(specs) }
+
+// Checkpoint and migration-cost defaults shared by the recovery and
+// dynamic-remapping paths.
+const (
+	// DefaultCheckpointEvery is the barrier-checkpoint interval in virtual
+	// seconds used when FaultOptions leaves CheckpointEvery zero.
+	DefaultCheckpointEvery = emu.DefaultCheckpointEvery
+	// DefaultMigrationCost is the virtual-time price of moving one node
+	// between engines.
+	DefaultMigrationCost = emu.DefaultMigrationCost
+)
 
 // Partitioning strategies (PartitionOptions.Strategy).
 const (

@@ -20,7 +20,11 @@ func TestFacadeTopologies(t *testing.T) {
 	if _, err := TopologyByName("nope", 1); err == nil {
 		t.Error("unknown topology accepted")
 	}
-	if nw := Brite(BriteConfig{Routers: 20, Hosts: 10, Seed: 1}); nw.NumRouters() != 20 {
+	nw, err := Brite(BriteConfig{Routers: 20, Hosts: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumRouters() != 20 {
 		t.Error("Brite facade wrong")
 	}
 }
@@ -109,7 +113,10 @@ func TestFacadeApps(t *testing.T) {
 	if len(hosts) != 10 {
 		t.Error("SpreadHosts")
 	}
-	w := s.Generate(hosts, 1)
+	w, err := s.Generate(hosts, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(w.Flows) == 0 {
 		t.Error("no app flows")
 	}
