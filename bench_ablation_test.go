@@ -7,6 +7,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -27,7 +28,7 @@ func ablationScenario(b *testing.B) (*core.Scenario, *netflow.Summary) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	topPart, _, err := s.Partition(mapping.Top)
+	topPart, _, err := s.Partition(context.Background(), mapping.Top)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -152,7 +153,7 @@ func BenchmarkAblationPartitioner(b *testing.B) {
 func BenchmarkAblationParallelism(b *testing.B) {
 	sc, _ := ablationScenario(b)
 	w, _ := sc.Workload()
-	part, _, err := sc.Partition(mapping.Profile)
+	part, _, err := sc.Partition(context.Background(), mapping.Profile)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -181,7 +182,7 @@ func BenchmarkAblationParallelism(b *testing.B) {
 func BenchmarkAblationTransport(b *testing.B) {
 	sc, _ := ablationScenario(b)
 	w, _ := sc.Workload()
-	part, _, err := sc.Partition(mapping.Top)
+	part, _, err := sc.Partition(context.Background(), mapping.Top)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -12,6 +12,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -169,7 +170,7 @@ func Example() {
 		Engines:    3,
 		Background: DefaultHTTP(5, 1),
 	}
-	out, err := sc.Run(Top)
+	out, err := sc.Run(context.Background(), Top)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

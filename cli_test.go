@@ -101,13 +101,13 @@ func TestCLIMassfRecordReplayIdentical(t *testing.T) {
 		t.Skip("builds binaries")
 	}
 	bin := buildTool(t, "massf")
-	trace := filepath.Join(t.TempDir(), "trace.txt")
+	trace := filepath.Join(t.TempDir(), "workload.txt")
 	out1, _, err := run(t, bin, "-topology", "Campus", "-app", "GridNPB",
 		"-duration", "5", "-approach", "TOP", "-record", trace)
 	if err != nil {
 		t.Fatal(err)
 	}
-	out2, _, err := run(t, bin, "-topology", "Campus", "-trace", trace, "-approach", "TOP")
+	out2, _, err := run(t, bin, "-topology", "Campus", "-replay", trace, "-approach", "TOP")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,6 +122,42 @@ func TestCLIMassfRecordReplayIdentical(t *testing.T) {
 	}
 	if line(out1) == "" || line(out1) != line(out2) {
 		t.Errorf("record/replay diverged:\n%q\n%q", line(out1), line(out2))
+	}
+}
+
+func TestCLIMassfObservability(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "massf")
+	dir := t.TempDir()
+	traceOf := func(name string) ([]byte, string) {
+		path := filepath.Join(dir, name)
+		stdout, stderr, err := run(t, bin, "-topology", "Campus", "-app", "GridNPB",
+			"-duration", "5", "-approach", "TOP", "-sequential", "-stats", "-trace", path)
+		if err != nil {
+			t.Fatalf("massf -trace failed: %v\n%s", err, stderr)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, stdout
+	}
+	trace1, stdout := traceOf("a.jsonl")
+	trace2, _ := traceOf("b.jsonl")
+	if len(trace1) == 0 {
+		t.Fatal("empty kernel trace")
+	}
+	if string(trace1) != string(trace2) {
+		t.Error("identical runs produced different kernel traces")
+	}
+	if !strings.Contains(string(trace1), `"type":"run"`) ||
+		!strings.Contains(string(trace1), `"type":"window"`) {
+		t.Errorf("trace missing run/window records:\n%.200s", trace1)
+	}
+	if !strings.Contains(stdout, "kernel:") {
+		t.Errorf("-stats output missing kernel summary:\n%s", stdout)
 	}
 }
 

@@ -21,12 +21,19 @@
 // times slower over [T1,T2); degrade@T1-T2xF multiplies the cross-engine
 // message cost. -naive-recovery dumps a dead engine's nodes onto one
 // survivor instead of repartitioning, for comparison.
+//
+// Observability: -stats prints the kernel's aggregated run counters, -trace
+// FILE writes the deterministic JSONL kernel trace (suffixed .<approach> when
+// -approach all), and -pprof ADDR serves /debug/pprof and /debug/vars for
+// live profiling. Ctrl-C cancels the run at the next window barrier.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"time"
 
 	"repro/internal/core"
@@ -35,6 +42,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netdesc"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
@@ -49,22 +57,26 @@ func (m *multiFlag) Set(v string) error {
 
 func main() {
 	var (
-		topology = flag.String("topology", "Campus", "Campus | TeraGrid | Brite | Brite-large")
-		netfile  = flag.String("netfile", "", "load the topology from a network description file instead")
-		engines  = flag.Int("engines", 0, "engine count override (required with -netfile)")
-		export   = flag.String("export", "", "write the topology as a network description file and exit")
-		app      = flag.String("app", "ScaLapack", "ScaLapack | GridNPB")
-		approach = flag.String("approach", "all", "TOP | PLACE | PROFILE | all")
-		duration = flag.Float64("duration", 120, "virtual duration in seconds")
-		seed     = flag.Int64("seed", 42, "seed for generators and partitioner")
-		seq      = flag.Bool("sequential", false, "run the DES kernel single-threaded")
-		verbose  = flag.Bool("v", false, "print per-engine loads")
-		stats    = flag.Bool("stats", false, "print topology statistics and exit")
-		record   = flag.String("record", "", "write the generated workload trace to this file")
-		replay   = flag.String("trace", "", "emulate a previously recorded workload trace instead of generating traffic")
+		topology  = flag.String("topology", "Campus", "Campus | TeraGrid | Brite | Brite-large")
+		netfile   = flag.String("netfile", "", "load the topology from a network description file instead")
+		engines   = flag.Int("engines", 0, "engine count override (required with -netfile)")
+		export    = flag.String("export", "", "write the topology as a network description file and exit")
+		app       = flag.String("app", "ScaLapack", "ScaLapack | GridNPB")
+		approach  = flag.String("approach", "all", "TOP | PLACE | PROFILE | all")
+		duration  = flag.Float64("duration", 120, "virtual duration in seconds")
+		seed      = flag.Int64("seed", 42, "seed for generators and partitioner")
+		seq       = flag.Bool("sequential", false, "run the DES kernel single-threaded")
+		verbose   = flag.Bool("v", false, "print per-engine loads")
+		topostats = flag.Bool("topostats", false, "print topology statistics and exit")
+		record    = flag.String("record", "", "write the generated workload trace to this file")
+		replay    = flag.String("replay", "", "emulate a previously recorded workload trace instead of generating traffic")
 
 		checkpoint = flag.Float64("checkpoint", 10, "barrier-checkpoint interval in virtual seconds (with crash faults)")
 		naive      = flag.Bool("naive-recovery", false, "recover crashes by dumping onto one survivor instead of remapping")
+
+		stats     = flag.Bool("stats", false, "print the kernel's aggregated observability counters per run")
+		tracePath = flag.String("trace", "", "write the deterministic JSONL kernel trace to this file (.<approach> suffix with -approach all)")
+		pprofAddr = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
 	)
 	var faultSpecs multiFlag
 	flag.Var(&faultSpecs, "fault", "fault spec (crash:E@T | slow:E@T1-T2xF | degrade@T1-T2xF); repeatable")
@@ -92,7 +104,7 @@ func main() {
 		sc.Engines = *engines
 		sc.Name = fmt.Sprintf("%s/%s", nw.Name, *app)
 	}
-	if *stats {
+	if *topostats {
 		fmt.Printf("%s topology statistics:\n%s", sc.Network.Name, sc.Network.ComputeStats())
 		return
 	}
@@ -160,13 +172,50 @@ func main() {
 		fmt.Printf("fault schedule: %s\n", sched)
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	sc.CollectStats = *stats
+	var live *obs.RunStats
+	if *pprofAddr != "" {
+		srv, base, err := obs.ServeDebug(*pprofAddr)
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoint: %s/debug/pprof/ and %s/debug/vars\n", base, base)
+		// A recorder we own gives live counters at /debug/vars while the
+		// run is still in flight.
+		live = obs.NewRunStats()
+		obs.Publish("massf", live)
+	}
+
 	fmt.Printf("%-8s %10s %12s %12s %10s %9s %10s %9s\n",
 		"approach", "imbalance", "app-time(s)", "net-time(s)", "lookahead", "windows", "remote-ev", "wall")
 	for _, a := range approaches {
+		var tr *obs.Trace
+		recs := []obs.Recorder{}
+		if live != nil {
+			recs = append(recs, live)
+		}
+		if *tracePath != "" {
+			path := *tracePath
+			if len(approaches) > 1 {
+				path += "." + string(a)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			tr = obs.NewTraceCloser(f)
+			recs = append(recs, tr)
+			fmt.Fprintf(os.Stderr, "tracing %s run to %s\n", a, path)
+		}
+		sc.Recorder = obs.Multi(recs...)
+
 		start := time.Now()
 		var o *core.Outcome
 		if sched != nil {
-			ro, err := sc.RunResilient(core.FaultOptions{
+			ro, err := sc.RunResilient(ctx, core.FaultOptions{
 				Schedule:        sched,
 				CheckpointEvery: *checkpoint,
 				Approach:        a,
@@ -178,15 +227,23 @@ func main() {
 			o = &core.Outcome{Approach: a, Assignment: ro.FinalAssignment, Result: ro.Result, ProfileRun: ro.ProfileRun}
 		} else {
 			var err error
-			o, err = sc.Run(a)
+			o, err = sc.Run(ctx, a)
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", a, err))
+			}
+		}
+		if tr != nil {
+			if err := tr.Close(); err != nil {
+				fatal(fmt.Errorf("%s: writing trace: %w", a, err))
 			}
 		}
 		r := o.Result
 		fmt.Printf("%-8s %10.3f %12.1f %12.1f %9.2gms %9d %10d %9s\n",
 			a, r.Imbalance, r.AppTime, r.NetTime, r.Lookahead*1e3,
 			r.Kernel.Windows, r.RemoteEvents, time.Since(start).Round(time.Millisecond))
+		if *stats && r.Obs != nil {
+			fmt.Printf("         kernel: %s\n", r.Obs)
+		}
 		if rec := r.Recovery; rec != nil {
 			fmt.Printf("         recovery: %d crash(es) %v, %d checkpoint(s), downtime %.3fs, "+
 				"replayed %d events, migrated %d nodes\n",

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -48,7 +49,7 @@ func main() {
 	var imb, tim [3]float64
 	var parts [3][]int
 	for i, approach := range repro.Approaches() {
-		out, err := scenario.Run(approach)
+		out, err := scenario.Run(context.Background(), approach)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func main() {
 		AppSeed:      2,
 		EngineSpeeds: speeds,
 	}
-	out, err := het.Run(repro.Profile)
+	out, err := het.Run(context.Background(), repro.Profile)
 	if err != nil {
 		log.Fatal(err)
 	}

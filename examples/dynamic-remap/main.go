@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 		}
 	}
 
-	static, err := build().Run(mapping.Profile)
+	static, err := build().Run(context.Background(), mapping.Profile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -45,7 +46,7 @@ func main() {
 		static.Result.Imbalance, staticFine, static.Result.AppTime)
 
 	for _, interval := range []float64{20, 10, 5} {
-		dyn, err := build().RunDynamic(interval, 0.05)
+		dyn, err := build().RunDynamic(context.Background(), interval, 0.05)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func main() {
 	// intervals instead of repartitioning — far fewer migrations.
 	inc := build()
 	inc.IncrementalRemap = true
-	dyn, err := inc.RunDynamic(10, 0.05)
+	dyn, err := inc.RunDynamic(context.Background(), 10, 0.05)
 	if err != nil {
 		log.Fatal(err)
 	}

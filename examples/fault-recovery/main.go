@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,7 +50,7 @@ func main() {
 
 	var post [2]float64
 	for i, naive := range []bool{false, true} {
-		out, err := scenario().RunResilient(repro.FaultOptions{
+		out, err := scenario().RunResilient(context.Background(), repro.FaultOptions{
 			Schedule:        schedule,
 			CheckpointEvery: 4,
 			Naive:           naive,

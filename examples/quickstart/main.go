@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	//    profiling pass first (NetFlow on every router), then repartitions.
 	fmt.Printf("%-8s %10s %12s %12s\n", "approach", "imbalance", "app-time(s)", "replay(s)")
 	for _, approach := range repro.Approaches() {
-		out, err := scenario.Run(approach)
+		out, err := scenario.Run(context.Background(), approach)
 		if err != nil {
 			log.Fatal(err)
 		}

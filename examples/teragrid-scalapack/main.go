@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -44,7 +45,7 @@ func main() {
 
 	var baseline float64
 	for _, approach := range repro.Approaches() {
-		out, err := scenario.Run(approach)
+		out, err := scenario.Run(context.Background(), approach)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,12 +11,14 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
 	"repro/internal/emu"
 	"repro/internal/mapping"
 	"repro/internal/netgraph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/traffic"
 )
@@ -76,6 +78,14 @@ type Scenario struct {
 	// Sequential forces single-threaded kernel execution.
 	Sequential bool
 
+	// Recorder, when non-nil, receives kernel observability from every
+	// emulation the scenario runs (profiling pre-runs and dynamic-remap
+	// segments included) — e.g. an obs.Trace writing JSONL.
+	Recorder obs.Recorder
+	// CollectStats attaches an aggregated obs.RunStats to each emulation
+	// result (Result.Obs) without requiring an external recorder.
+	CollectStats bool
+
 	routes   netgraph.Routing
 	workload *traffic.Workload
 	appHosts []int
@@ -89,6 +99,10 @@ type Outcome struct {
 	// ProfileRun is the initial profiling run's result (PROFILE only).
 	ProfileRun *emu.Result
 }
+
+// Obs returns the main run's aggregated observability summary, or nil when
+// the scenario collected none (see Scenario.CollectStats / Recorder).
+func (o *Outcome) Obs() *obs.RunStats { return o.Result.Obs }
 
 // Routes returns (building once) the scenario's routing — flat shortest
 // paths by default, two-level per-AS tables when HierarchicalRouting is set.
@@ -190,8 +204,8 @@ func (sc *Scenario) mappingInput() mapping.Input {
 }
 
 // Partition computes the assignment for one approach without emulating.
-// For PROFILE this includes the profiling pre-run.
-func (sc *Scenario) Partition(a mapping.Approach) ([]int, *emu.Result, error) {
+// For PROFILE this includes the profiling pre-run, which observes ctx.
+func (sc *Scenario) Partition(ctx context.Context, a mapping.Approach) ([]int, *emu.Result, error) {
 	in := sc.mappingInput()
 	switch a {
 	case mapping.Top:
@@ -217,7 +231,7 @@ func (sc *Scenario) Partition(a mapping.Approach) ([]int, *emu.Result, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: PROFILE initial partition: %w", err)
 		}
-		profRes, err := sc.emulate(topPart, true)
+		profRes, err := sc.emulate(ctx, topPart, true)
 		if err != nil {
 			return nil, nil, fmt.Errorf("core: PROFILE profiling run: %w", err)
 		}
@@ -232,12 +246,14 @@ func (sc *Scenario) Partition(a mapping.Approach) ([]int, *emu.Result, error) {
 
 // Run executes one approach end to end: partition (profiling first if
 // PROFILE), then emulate the shared workload on the resulting assignment.
-func (sc *Scenario) Run(a mapping.Approach) (*Outcome, error) {
-	part, profRun, err := sc.Partition(a)
+// Cancellation of ctx is observed at window barriers; pass
+// context.Background() (or nil) to run to completion.
+func (sc *Scenario) Run(ctx context.Context, a mapping.Approach) (*Outcome, error) {
+	part, profRun, err := sc.Partition(ctx, a)
 	if err != nil {
 		return nil, err
 	}
-	res, err := sc.emulate(part, false)
+	res, err := sc.emulate(ctx, part, false)
 	if err != nil {
 		return nil, err
 	}
@@ -246,10 +262,10 @@ func (sc *Scenario) Run(a mapping.Approach) (*Outcome, error) {
 
 // RunAll evaluates all three approaches on the same workload, in the paper's
 // order.
-func (sc *Scenario) RunAll() ([]*Outcome, error) {
+func (sc *Scenario) RunAll(ctx context.Context) ([]*Outcome, error) {
 	var out []*Outcome
 	for _, a := range mapping.Approaches() {
-		o, err := sc.Run(a)
+		o, err := sc.Run(ctx, a)
 		if err != nil {
 			return nil, fmt.Errorf("core: %s on %s: %w", a, sc.Name, err)
 		}
@@ -285,8 +301,24 @@ func (sc *Scenario) discoverRoutes(background []traffic.PairRate, appHosts []int
 	return emu.DiscoverRoutes(sc.Network, sc.Routes(), interim, sc.Engines, endpoints, true)
 }
 
+// runOptions translates the scenario's observability and cancellation
+// settings into emu options, shared by every emulation the scenario starts.
+func (sc *Scenario) runOptions(ctx context.Context) []emu.Option {
+	var opts []emu.Option
+	if ctx != nil {
+		opts = append(opts, emu.WithContext(ctx))
+	}
+	if sc.Recorder != nil {
+		opts = append(opts, emu.WithRecorder(sc.Recorder))
+	}
+	if sc.CollectStats {
+		opts = append(opts, emu.WithStats())
+	}
+	return opts
+}
+
 // emulate runs the emulator on an assignment.
-func (sc *Scenario) emulate(assignment []int, profile bool) (*emu.Result, error) {
+func (sc *Scenario) emulate(ctx context.Context, assignment []int, profile bool) (*emu.Result, error) {
 	w, err := sc.Workload()
 	if err != nil {
 		return nil, err
@@ -303,5 +335,5 @@ func (sc *Scenario) emulate(assignment []int, profile bool) (*emu.Result, error)
 		Transport:    sc.Transport,
 		EngineSpeeds: sc.EngineSpeeds,
 		Sequential:   sc.Sequential,
-	})
+	}, sc.runOptions(ctx)...)
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -75,7 +76,7 @@ func TestWorkloadMergedAndCached(t *testing.T) {
 func TestRunTopAndPlace(t *testing.T) {
 	sc := campusScenario(false)
 	for _, a := range []mapping.Approach{mapping.Top, mapping.Place} {
-		o, err := sc.Run(a)
+		o, err := sc.Run(context.Background(), a)
 		if err != nil {
 			t.Fatalf("%s: %v", a, err)
 		}
@@ -93,7 +94,7 @@ func TestRunTopAndPlace(t *testing.T) {
 
 func TestRunProfileHasPreRun(t *testing.T) {
 	sc := campusScenario(true)
-	o, err := sc.Run(mapping.Profile)
+	o, err := sc.Run(context.Background(), mapping.Profile)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -110,7 +111,7 @@ func TestRunProfileHasPreRun(t *testing.T) {
 
 func TestRunAllOrder(t *testing.T) {
 	sc := campusScenario(false)
-	outs, err := sc.RunAll()
+	outs, err := sc.RunAll(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,7 +134,7 @@ func TestRunAllOrder(t *testing.T) {
 
 func TestRunUnknownApproach(t *testing.T) {
 	sc := campusScenario(false)
-	if _, err := sc.Run("NOPE"); err == nil {
+	if _, err := sc.Run(context.Background(), "NOPE"); err == nil {
 		t.Error("unknown approach accepted")
 	}
 }
@@ -148,7 +149,7 @@ func TestScenarioWithoutApp(t *testing.T) {
 	if sc.AppPlacement() != nil {
 		t.Error("placement for nil app")
 	}
-	o, err := sc.Run(mapping.Place)
+	o, err := sc.Run(context.Background(), mapping.Place)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -158,11 +159,11 @@ func TestScenarioWithoutApp(t *testing.T) {
 }
 
 func TestScenarioDeterministicAcrossRuns(t *testing.T) {
-	a, err := campusScenario(false).Run(mapping.Top)
+	a, err := campusScenario(false).Run(context.Background(), mapping.Top)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := campusScenario(false).Run(mapping.Top)
+	b, err := campusScenario(false).Run(context.Background(), mapping.Top)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,11 +183,11 @@ func TestPlaceWithEmulatedTraceroute(t *testing.T) {
 	scProbe := campusScenario(false)
 	scProbe.EmulatedTraceroute = true
 
-	a, err := scTable.Run(mapping.Place)
+	a, err := scTable.Run(context.Background(), mapping.Place)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := scProbe.Run(mapping.Place)
+	b, err := scProbe.Run(context.Background(), mapping.Place)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,11 +204,11 @@ func TestHierarchicalRoutingScenario(t *testing.T) {
 	flat := campusScenario(false)
 	hier := campusScenario(false)
 	hier.HierarchicalRouting = true
-	a, err := flat.Run(mapping.Top)
+	a, err := flat.Run(context.Background(), mapping.Top)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := hier.Run(mapping.Top)
+	b, err := hier.Run(context.Background(), mapping.Top)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,11 +222,11 @@ func TestTCPTransportScenario(t *testing.T) {
 	blast := campusScenario(false)
 	tcp := campusScenario(false)
 	tcp.Transport = emu.TCPSlowStart
-	a, err := blast.Run(mapping.Top)
+	a, err := blast.Run(context.Background(), mapping.Top)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := tcp.Run(mapping.Top)
+	b, err := tcp.Run(context.Background(), mapping.Top)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +251,7 @@ func TestBackgroundPredictabilitySpectrum(t *testing.T) {
 			Background: bg,
 			PartSeed:   3,
 		}
-		outs, err := sc.RunAll()
+		outs, err := sc.RunAll(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -289,7 +290,7 @@ func TestHeterogeneousEngines(t *testing.T) {
 		return sc
 	}
 	busyImbalance := func(sc *Scenario) float64 {
-		o, err := sc.Run(mapping.Profile)
+		o, err := sc.Run(context.Background(), mapping.Profile)
 		if err != nil {
 			t.Fatal(err)
 		}

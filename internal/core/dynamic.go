@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -64,8 +65,9 @@ const DefaultMigrationCost = emu.DefaultMigrationCost
 // RunDynamic emulates the scenario in intervals of the given width,
 // remapping between intervals from each interval's NetFlow profile.
 // migrationCost is the AppTime stall charged per migrated node
-// (DefaultMigrationCost when <= 0).
-func (sc *Scenario) RunDynamic(interval, migrationCost float64) (*DynamicResult, error) {
+// (DefaultMigrationCost when <= 0). Cancellation of ctx is observed at
+// window barriers within each segment.
+func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost float64) (*DynamicResult, error) {
 	if interval <= 0 {
 		return nil, fmt.Errorf("core: dynamic remapping needs a positive interval")
 	}
@@ -111,7 +113,7 @@ func (sc *Scenario) RunDynamic(interval, migrationCost float64) (*DynamicResult,
 			Profile:    true,
 			Transport:  sc.Transport,
 			Sequential: sc.Sequential,
-		})
+		}, sc.runOptions(ctx)...)
 		if err != nil {
 			return nil, fmt.Errorf("core: dynamic segment at %gs: %w", start, err)
 		}

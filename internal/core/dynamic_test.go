@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/apps"
@@ -25,14 +26,14 @@ func dynamicScenario() *Scenario {
 
 func TestRunDynamicValidation(t *testing.T) {
 	sc := dynamicScenario()
-	if _, err := sc.RunDynamic(0, 0); err == nil {
+	if _, err := sc.RunDynamic(context.Background(), 0, 0); err == nil {
 		t.Error("zero interval accepted")
 	}
 }
 
 func TestRunDynamicSegments(t *testing.T) {
 	sc := dynamicScenario()
-	res, err := sc.RunDynamic(10, 0)
+	res, err := sc.RunDynamic(context.Background(), 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -57,11 +58,11 @@ func TestRunDynamicSegments(t *testing.T) {
 
 func TestRunDynamicRemapsAndCharges(t *testing.T) {
 	sc := dynamicScenario()
-	free, err := sc.RunDynamic(10, 1e-9)
+	free, err := sc.RunDynamic(context.Background(), 10, 1e-9)
 	if err != nil {
 		t.Fatal(err)
 	}
-	costly, err := dynamicScenario().RunDynamic(10, 1.0)
+	costly, err := dynamicScenario().RunDynamic(context.Background(), 10, 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +82,11 @@ func TestRunDynamicBeatsStaticPerSegment(t *testing.T) {
 	// The point of dynamic remapping: per-interval imbalance should not be
 	// worse than a static TOP partition's per-interval imbalance.
 	sc := dynamicScenario()
-	dyn, err := sc.RunDynamic(10, 0)
+	dyn, err := sc.RunDynamic(context.Background(), 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	static, err := dynamicScenario().Run(mapping.Top)
+	static, err := dynamicScenario().Run(context.Background(), mapping.Top)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,13 +110,13 @@ func TestRunDynamicBeatsStaticPerSegment(t *testing.T) {
 
 func TestRunDynamicIncrementalFewerMigrations(t *testing.T) {
 	full := dynamicScenario()
-	fullRes, err := full.RunDynamic(10, 0)
+	fullRes, err := full.RunDynamic(context.Background(), 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	inc := dynamicScenario()
 	inc.IncrementalRemap = true
-	incRes, err := inc.RunDynamic(10, 0)
+	incRes, err := inc.RunDynamic(context.Background(), 10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

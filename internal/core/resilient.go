@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/emu"
@@ -81,8 +82,9 @@ func NaiveRecovery(f emu.EngineFailure) []int {
 // RunResilient executes the scenario under a fault schedule: partition with
 // the chosen approach, emulate with fault injection, and on each engine
 // crash recover by remapping the dead engine's virtual nodes across the
-// survivors (or naively, when opts.Naive).
-func (sc *Scenario) RunResilient(opts FaultOptions) (*ResilientOutcome, error) {
+// survivors (or naively, when opts.Naive). Cancellation of ctx is observed
+// at window barriers.
+func (sc *Scenario) RunResilient(ctx context.Context, opts FaultOptions) (*ResilientOutcome, error) {
 	if opts.Schedule == nil {
 		return nil, fmt.Errorf("core: RunResilient needs a fault schedule (use Run for fault-free execution)")
 	}
@@ -90,7 +92,7 @@ func (sc *Scenario) RunResilient(opts FaultOptions) (*ResilientOutcome, error) {
 	if approach == "" {
 		approach = mapping.Top
 	}
-	part, profRun, err := sc.Partition(approach)
+	part, profRun, err := sc.Partition(ctx, approach)
 	if err != nil {
 		return nil, err
 	}
@@ -128,7 +130,7 @@ func (sc *Scenario) RunResilient(opts FaultOptions) (*ResilientOutcome, error) {
 		CheckpointEvery: opts.CheckpointEvery,
 		MigrationCost:   opts.MigrationCost,
 		OnCrash:         onCrash,
-	})
+	}, sc.runOptions(ctx)...)
 	if err != nil {
 		return nil, fmt.Errorf("core: resilient %s on %s: %w", approach, sc.Name, err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -32,7 +33,7 @@ func midRunCrash() *faults.Schedule {
 }
 
 func TestRunResilientNeedsSchedule(t *testing.T) {
-	if _, err := faultScenario().RunResilient(FaultOptions{}); err == nil {
+	if _, err := faultScenario().RunResilient(context.Background(), FaultOptions{}); err == nil {
 		t.Error("nil schedule accepted")
 	}
 }
@@ -42,14 +43,14 @@ func TestRunResilientNeedsSchedule(t *testing.T) {
 // recovery metrics, and partitioner-based remapping leaves the post-recovery
 // load strictly better balanced than the naive dump-on-one-survivor fallback.
 func TestCrashRecoveryAcceptance(t *testing.T) {
-	remap, err := faultScenario().RunResilient(FaultOptions{
+	remap, err := faultScenario().RunResilient(context.Background(), FaultOptions{
 		Schedule:        midRunCrash(),
 		CheckpointEvery: 4,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	naive, err := faultScenario().RunResilient(FaultOptions{
+	naive, err := faultScenario().RunResilient(context.Background(), FaultOptions{
 		Schedule:        midRunCrash(),
 		CheckpointEvery: 4,
 		Naive:           true,
@@ -99,7 +100,7 @@ func TestResilientDeterminism(t *testing.T) {
 	// fault-free (crash-free schedule) and with a crash recovery in the
 	// middle.
 	run := func(sched *faults.Schedule) *ResilientOutcome {
-		out, err := faultScenario().RunResilient(FaultOptions{
+		out, err := faultScenario().RunResilient(context.Background(), FaultOptions{
 			Schedule:        sched,
 			CheckpointEvery: 4,
 		})

@@ -21,12 +21,13 @@
 package des
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Event is a timestamped message destined for an LP.
@@ -68,6 +69,13 @@ type Config struct {
 	Handler Handler
 	// Observer, if non-nil, receives per-window load statistics.
 	Observer WindowObserver
+	// Recorder, if non-nil, receives the kernel's observability stream: a
+	// RunMeta per Run (segment), a Window record per executed window with
+	// per-LP counters (handler invocations, charges, remote sends, queue
+	// occupancy, barrier wait), delivered on the coordinating goroutine
+	// after the barrier. A nil Recorder costs nothing: the instrumentation
+	// sites are guarded and allocate only when recording.
+	Recorder obs.Recorder
 	// OnBarrier, if non-nil, is called after each window's barrier — after
 	// handler errors are checked, outboxes merged, and the Observer has run —
 	// on the coordinating goroutine. No handler executes concurrently, so the
@@ -180,6 +188,16 @@ type Kernel struct {
 	// snapshot them at a barrier.
 	runStats *Stats
 	ran      bool
+
+	// Recording scratch, allocated once per Run only when cfg.Recorder is
+	// set: per-window per-LP counters reused across windows so the nil-
+	// recorder path stays allocation-free and the recording path allocates
+	// nothing per event.
+	recording bool
+	winEvents []int64
+	winQueue  []int64
+	winBusy   []float64
+	winWait   []float64
 }
 
 // New validates cfg and returns a kernel ready for initial event injection.
@@ -216,7 +234,7 @@ func (k *Kernel) Schedule(lp int, t float64, data any) error {
 func (k *Kernel) pushLocal(lp int, ev Event) {
 	ev.seq = k.seqs[lp]
 	k.seqs[lp]++
-	heap.Push(&k.queues[lp], ev)
+	k.queues[lp].push(ev)
 }
 
 // Run executes the simulation to completion (or EndTime) and returns
@@ -256,6 +274,16 @@ func (k *Kernel) Run() (*Stats, error) {
 	winCharges := make([]int64, n)
 	winRemote := make([]int64, n)
 
+	rec := k.cfg.Recorder
+	k.recording = rec != nil
+	if k.recording {
+		k.winEvents = make([]int64, n)
+		k.winQueue = make([]int64, n)
+		k.winBusy = make([]float64, n)
+		k.winWait = make([]float64, n)
+		rec.RecordRun(obs.RunMeta{LPs: n, Lookahead: L, Resumed: k.base != nil})
+	}
+
 	T := 0.0
 	if t, ok := k.minNextTime(); ok {
 		T = windowFloor(t, L)
@@ -278,6 +306,10 @@ func (k *Kernel) Run() (*Stats, error) {
 		windowEnd := T + L
 
 		// Process the window on all LPs.
+		var winStart time.Time
+		if k.recording {
+			winStart = time.Now()
+		}
 		if k.cfg.Sequential {
 			for lp := 0; lp < n; lp++ {
 				k.runWindow(lp, scheds[lp], T, windowEnd, stats)
@@ -301,14 +333,37 @@ func (k *Kernel) Run() (*Stats, error) {
 			}
 		}
 		k.mergeOutboxes(scheds)
-		if k.cfg.Observer != nil {
+		if k.cfg.Observer != nil || k.recording {
 			for lp := 0; lp < n; lp++ {
 				winCharges[lp] = scheds[lp].charges
 				winRemote[lp] = scheds[lp].remote
 				scheds[lp].charges = 0
 				scheds[lp].remote = 0
 			}
-			k.cfg.Observer(T, windowEnd, winCharges, winRemote)
+			if k.cfg.Observer != nil {
+				k.cfg.Observer(T, windowEnd, winCharges, winRemote)
+			}
+			if k.recording {
+				// Barrier wait: the gap between an LP finishing its window
+				// and the slowest LP releasing the barrier. Only meaningful
+				// with real parallelism.
+				windowWall := time.Since(winStart).Seconds()
+				for lp := 0; lp < n; lp++ {
+					k.winQueue[lp] = int64(k.queues[lp].Len())
+					if k.cfg.Sequential {
+						k.winWait[lp] = 0
+					} else if w := windowWall - k.winBusy[lp]; w > 0 {
+						k.winWait[lp] = w
+					} else {
+						k.winWait[lp] = 0
+					}
+				}
+				rec.RecordWindow(obs.Window{
+					Index: stats.Windows, Start: T, End: windowEnd,
+					Events: k.winEvents, Charges: winCharges, Remote: winRemote,
+					Queue: k.winQueue, Wait: k.winWait,
+				})
+			}
 		} else {
 			for lp := 0; lp < n; lp++ {
 				scheds[lp].charges = 0
@@ -334,23 +389,34 @@ func (k *Kernel) Run() (*Stats, error) {
 // touches the LP's queue during the window; remote events go to the private
 // outbox.
 func (k *Kernel) runWindow(lp int, s *Scheduler, T, windowEnd float64, stats *Stats) {
+	var begin time.Time
+	preEvents := stats.Events[lp]
+	if k.recording {
+		begin = time.Now()
+	}
 	s.windowEnd = windowEnd
 	q := &k.queues[lp]
 	for q.Len() > 0 && (*q)[0].Time < windowEnd {
 		if k.cfg.EndTime > 0 && (*q)[0].Time >= k.cfg.EndTime {
 			break
 		}
-		ev := heap.Pop(q).(Event)
+		ev := q.pop()
 		s.now = ev.Time
 		stats.Events[lp]++
 		preCharge := s.charges
 		k.cfg.Handler(lp, ev.Time, ev.Data, s)
 		stats.Charges[lp] += s.charges - preCharge
 		if s.err != nil {
-			return
+			break
 		}
 	}
 	stats.RemoteSends[lp] += s.remote
+	if k.recording {
+		// Each LP goroutine writes only its own slot, so no synchronization
+		// is needed on the shared scratch slices.
+		k.winEvents[lp] = stats.Events[lp] - preEvents
+		k.winBusy[lp] = time.Since(begin).Seconds()
+	}
 }
 
 // mergeOutboxes distributes cross-LP events into destination queues in a
@@ -407,21 +473,59 @@ func windowFloor(t, L float64) float64 {
 	return math.Floor(t/L) * L
 }
 
-// eventHeap is a binary min-heap ordered by (Time, seq).
+// eventHeap is a binary min-heap ordered by (Time, seq). The push/pop
+// methods operate on Event values directly instead of going through
+// container/heap, whose any-typed interface boxes every event on both push
+// and pop — two heap allocations per simulation event on the hottest path in
+// the kernel.
 type eventHeap []Event
 
 func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+
+func (h eventHeap) less(i, j int) bool {
 	if h[i].Time != h[j].Time {
 		return h[i].Time < h[j].Time
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(Event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	ev := old[len(old)-1]
-	*h = old[:len(old)-1]
+
+func (h *eventHeap) push(ev Event) {
+	*h = append(*h, ev)
+	q := *h
+	i := len(q) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() Event {
+	q := *h
+	ev := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q[last] = Event{} // release the payload reference
+	q = q[:last]
+	*h = q
+	i := 0
+	for {
+		left := 2*i + 1
+		if left >= last {
+			break
+		}
+		child := left
+		if right := left + 1; right < last && q.less(right, left) {
+			child = right
+		}
+		if !q.less(child, i) {
+			break
+		}
+		q[i], q[child] = q[child], q[i]
+		i = child
+	}
 	return ev
 }

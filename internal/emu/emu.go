@@ -27,6 +27,7 @@
 package emu
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -35,6 +36,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netflow"
 	"repro/internal/netgraph"
+	"repro/internal/obs"
 	"repro/internal/traffic"
 )
 
@@ -188,6 +190,11 @@ type Result struct {
 	// Recovery reports fault handling; nil when the fault schedule had no
 	// crashes.
 	Recovery *Recovery
+	// Obs is the aggregated observability summary — per-engine event,
+	// charge, remote-send and queue counters, barrier wait, and recovery
+	// lifecycle counts. nil unless the run was given WithStats or
+	// WithRecorder.
+	Obs *obs.RunStats
 }
 
 // FCTStats summarizes the completed flows' completion times: count, mean,
@@ -262,11 +269,25 @@ func Lookahead(nw *netgraph.Network, assignment []int, minLookahead float64) flo
 	return min
 }
 
-// Run executes one emulation and returns its metrics.
-func Run(cfg Config) (*Result, error) {
+// Run executes one emulation and returns its metrics. The base Config says
+// what to emulate; Options say how to run it (observability recorders,
+// cancellation, cost-model overrides) — see WithRecorder, WithStats,
+// WithContext, WithCostModel.
+func Run(cfg Config, opts ...Option) (*Result, error) {
+	var o runOptions
+	o.apply(opts)
+	if o.cost != nil {
+		cfg.Cost = *o.cost
+	}
 	if err := validate(&cfg); err != nil {
 		return nil, err
 	}
+	if o.ctx != nil {
+		if err := o.ctx.Err(); err != nil {
+			return nil, fmt.Errorf("emu: run canceled before start: %w", err)
+		}
+	}
+	rec, runStats := o.recorder()
 	nw := cfg.Network
 	rt := cfg.Routes
 	if rt == nil {
@@ -278,7 +299,7 @@ func Run(cfg Config) (*Result, error) {
 	for _, f := range cfg.Workload.Flows {
 		path := nw.Route(rt, f.Src, f.Dst)
 		if path == nil {
-			return nil, fmt.Errorf("emu: flow %d has no route %d -> %d", f.ID, f.Src, f.Dst)
+			return nil, fmt.Errorf("%w: flow %d has no route %d -> %d", ErrBadConfig, f.ID, f.Src, f.Dst)
 		}
 		links := nw.RouteLinks(rt, f.Src, f.Dst)
 		var oneWay float64
@@ -345,6 +366,8 @@ func Run(cfg Config) (*Result, error) {
 	}
 	e := &emulation{
 		cfg:             &cfg,
+		ctx:             o.ctx,
+		rec:             rec,
 		nw:              nw,
 		assignment:      append([]int(nil), cfg.Assignment...),
 		busyUntil:       busyUntil,
@@ -370,11 +393,24 @@ func Run(cfg Config) (*Result, error) {
 		Observer:   e.observe,
 		EndTime:    cfg.EndTime,
 		Sequential: cfg.Sequential,
+		Recorder:   rec,
 	}
-	if cfg.Faults.HasCrashes() {
-		// The hook target is installed by runResilient once the kernel
-		// exists; the indirection keeps des.Config construction simple.
-		desCfg.OnBarrier = func(ws, we float64) error { return e.barrier(ws, we) }
+	if o.ctx != nil || cfg.Faults.HasCrashes() {
+		// Cancellation is observed between windows, never mid-handler; the
+		// crash-injection hook target is installed by runResilient once the
+		// kernel exists, and the indirection keeps des.Config construction
+		// simple.
+		desCfg.OnBarrier = func(ws, we float64) error {
+			if e.ctx != nil {
+				if err := e.ctx.Err(); err != nil {
+					return fmt.Errorf("emu: run canceled at window [%g,%g): %w", ws, we, err)
+				}
+			}
+			if e.barrier != nil {
+				return e.barrier(ws, we)
+			}
+			return nil
+		}
 	}
 	kernel, err := des.New(desCfg)
 	if err != nil {
@@ -449,27 +485,29 @@ func Run(cfg Config) (*Result, error) {
 		DroppedPackets:  dropped,
 		FinalAssignment: append([]int(nil), e.assignment...),
 		Recovery:        recovery,
+		Obs:             runStats,
 	}, nil
 }
 
 func validate(cfg *Config) error {
 	if cfg.Network == nil {
-		return fmt.Errorf("emu: Network is required")
+		return fmt.Errorf("%w: Network is required", ErrBadConfig)
 	}
 	if cfg.NumEngines < 1 {
-		return fmt.Errorf("emu: NumEngines = %d, must be >= 1", cfg.NumEngines)
+		return fmt.Errorf("%w: NumEngines = %d, must be >= 1", ErrBadConfig, cfg.NumEngines)
 	}
 	if len(cfg.Assignment) != cfg.Network.NumNodes() {
-		return fmt.Errorf("emu: assignment covers %d nodes, network has %d",
-			len(cfg.Assignment), cfg.Network.NumNodes())
+		return fmt.Errorf("%w: assignment covers %d nodes, network has %d",
+			ErrBadConfig, len(cfg.Assignment), cfg.Network.NumNodes())
 	}
 	for n, e := range cfg.Assignment {
 		if e < 0 || e >= cfg.NumEngines {
-			return fmt.Errorf("emu: node %d assigned to engine %d, want [0,%d)", n, e, cfg.NumEngines)
+			return fmt.Errorf("%w: node %d assigned to engine %d, want [0,%d)",
+				ErrBadConfig, n, e, cfg.NumEngines)
 		}
 	}
 	if err := cfg.Workload.Validate(cfg.Network); err != nil {
-		return err
+		return fmt.Errorf("%w: %w", ErrBadConfig, err)
 	}
 	if cfg.ChunkBytes <= 0 {
 		cfg.ChunkBytes = 64 << 10
@@ -482,11 +520,12 @@ func validate(cfg *Config) error {
 	}
 	if cfg.Faults != nil {
 		if err := cfg.Faults.Validate(cfg.NumEngines); err != nil {
-			return err
+			return fmt.Errorf("%w: %w", ErrBadConfig, err)
 		}
 		if cfg.Faults.HasCrashes() {
 			if cfg.OnCrash == nil {
-				return fmt.Errorf("emu: fault schedule contains crashes but no OnCrash remapper is configured")
+				return fmt.Errorf("%w: fault schedule contains crashes but no OnCrash remapper is configured",
+					ErrBadConfig)
 			}
 			if cfg.CheckpointEvery <= 0 {
 				cfg.CheckpointEvery = DefaultCheckpointEvery
@@ -505,6 +544,8 @@ func validate(cfg *Config) error {
 // segments during crash recovery.
 type emulation struct {
 	cfg        *Config
+	ctx        context.Context
+	rec        obs.Recorder
 	nw         *netgraph.Network
 	assignment []int
 	busyUntil  [][2]float64

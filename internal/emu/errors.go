@@ -1,0 +1,8 @@
+package emu
+
+import "errors"
+
+// ErrBadConfig is wrapped (via %w) by every configuration-validation failure
+// from Run, so callers can branch with errors.Is(err, emu.ErrBadConfig)
+// instead of matching message text.
+var ErrBadConfig = errors.New("emu: invalid configuration")

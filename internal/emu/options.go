@@ -1,0 +1,74 @@
+package emu
+
+import (
+	"context"
+
+	"repro/internal/obs"
+)
+
+// Option configures a Run beyond the base Config — the growth path for new
+// knobs, so Config stays the stable description of *what* to emulate while
+// options say *how* to run it (observability, cancellation, pricing).
+type Option func(*runOptions)
+
+type runOptions struct {
+	ctx       context.Context
+	recorders []obs.Recorder
+	stats     bool
+	cost      *CostModel
+}
+
+func (o *runOptions) apply(opts []Option) {
+	for _, opt := range opts {
+		if opt != nil {
+			opt(o)
+		}
+	}
+}
+
+// recorder assembles the recorder chain for the run: the caller's recorders
+// plus, when any observability is requested, an aggregating RunStats
+// collector whose summary is attached to Result.Obs. Returns (nil, nil) when
+// observability is fully disabled — the zero-cost path.
+func (o *runOptions) recorder() (obs.Recorder, *obs.RunStats) {
+	if len(o.recorders) == 0 && !o.stats {
+		return nil, nil
+	}
+	stats := obs.NewRunStats()
+	return obs.Multi(append(append([]obs.Recorder(nil), o.recorders...), stats)...), stats
+}
+
+// WithRecorder attaches an observability recorder (see internal/obs) to the
+// run: it receives per-window per-engine counters and recovery lifecycle
+// events. May be given multiple times; nil recorders are ignored. Any
+// recorder implies WithStats.
+func WithRecorder(r obs.Recorder) Option {
+	return func(o *runOptions) {
+		if r != nil {
+			o.recorders = append(o.recorders, r)
+		}
+	}
+}
+
+// WithStats collects an aggregated obs.RunStats summary into Result.Obs
+// without attaching any external recorder.
+func WithStats() Option {
+	return func(o *runOptions) { o.stats = true }
+}
+
+// WithCostModel overrides Config.Cost (zero-valued fields still default to
+// PentiumIICluster).
+func WithCostModel(c CostModel) Option {
+	return func(o *runOptions) { o.cost = &c }
+}
+
+// WithContext threads a cancellation context through the run. Cancellation
+// is observed at window barriers — between windows, never mid-handler — and
+// surfaces as an error wrapping ctx.Err().
+func WithContext(ctx context.Context) Option {
+	return func(o *runOptions) {
+		if ctx != nil && ctx != context.Background() {
+			o.ctx = ctx
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/metrics"
 	"repro/internal/netflow"
+	"repro/internal/obs"
 )
 
 // DefaultCheckpointEvery is the default virtual-time interval between
@@ -127,6 +128,15 @@ func (e *emulation) restore(s *checkpointState) {
 	e.collector = s.collector.Clone()
 }
 
+// recordEvent forwards a recovery lifecycle event to the run's recorder, if
+// any. All event fields are virtual-time quantities, so faulted traces stay
+// deterministic.
+func (e *emulation) recordEvent(ev obs.Event) {
+	if e.rec != nil {
+		e.rec.RecordEvent(ev)
+	}
+}
+
 // ownerOf returns the engine owning a pending event under the current
 // (post-recovery) assignment — how a restore moves a dead engine's events to
 // the survivors that inherited its nodes.
@@ -166,6 +176,7 @@ func (e *emulation) runResilient(k *des.Kernel) (*des.Stats, *Recovery, error) {
 	// The initial checkpoint covers crashes before the first scheduled one.
 	last := e.snapshot(k.Checkpoint(0))
 	rec.Checkpoints++
+	e.recordEvent(obs.Event{Kind: obs.EventCheckpoint, Time: 0, LP: -1})
 	nextCkpt := every
 	e.barrier = func(ws, we float64) error {
 		// Crash detection comes first: a window that contains a failure
@@ -178,6 +189,7 @@ func (e *emulation) runResilient(k *des.Kernel) (*des.Stats, *Recovery, error) {
 		if we >= nextCkpt {
 			last = e.snapshot(k.Checkpoint(we))
 			rec.Checkpoints++
+			e.recordEvent(obs.Event{Kind: obs.EventCheckpoint, Time: we, LP: -1})
 			for nextCkpt <= we {
 				nextCkpt += every
 			}
@@ -222,6 +234,9 @@ func (e *emulation) runResilient(k *des.Kernel) (*des.Stats, *Recovery, error) {
 		alive[lpf.LP] = false
 		rec.Failures++
 		rec.DeadEngines = append(rec.DeadEngines, lpf.LP)
+		// Event.Value carries the fail-stop instant; Time is the barrier at
+		// which a conservative kernel could first observe the silent peer.
+		e.recordEvent(obs.Event{Kind: obs.EventCrash, Time: stats.VirtualEnd, LP: lpf.LP, Value: lpf.Time})
 
 		cpStats := last.des.Stats()
 		cpLoads := make([]float64, len(cpStats.Charges))
@@ -245,12 +260,14 @@ func (e *emulation) runResilient(k *des.Kernel) (*des.Stats, *Recovery, error) {
 				len(newAssign), e.nw.NumNodes())
 		}
 		migrations := 0
+		migTo := make([]int64, e.cfg.NumEngines)
 		for v, eng := range newAssign {
 			if eng < 0 || eng >= e.cfg.NumEngines || !alive[eng] {
 				return nil, nil, fmt.Errorf("emu: recovery assigned node %d to dead or invalid engine %d", v, eng)
 			}
 			if eng != e.assignment[v] {
 				migrations++
+				migTo[eng]++
 			}
 		}
 		var replayed int64
@@ -260,6 +277,16 @@ func (e *emulation) runResilient(k *des.Kernel) (*des.Stats, *Recovery, error) {
 		rec.Migrations += migrations
 		rec.ReplayedEvents += replayed
 		rec.Downtime += (stats.VirtualEnd - last.des.Time) + float64(migrations)*e.cfg.MigrationCost
+		// Rollback.Value is the window count the recovery discards and must
+		// re-execute; one migration event per destination engine, in engine
+		// order, keeps the trace deterministic.
+		e.recordEvent(obs.Event{Kind: obs.EventRollback, Time: last.des.Time, LP: lpf.LP,
+			Value: float64(stats.Windows - cpStats.Windows)})
+		for eng, n := range migTo {
+			if n > 0 {
+				e.recordEvent(obs.Event{Kind: obs.EventMigration, Time: last.des.Time, LP: eng, Value: float64(n)})
+			}
+		}
 
 		// Roll back, remap, resume. The new assignment cuts a different set
 		// of links, so the synchronization window is recomputed.

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -68,7 +69,7 @@ func Baselines(cfg Config) ([]BaselineRow, error) {
 		}
 	}
 	for _, a := range mapping.Approaches() {
-		part, _, err := sc.Partition(a)
+		part, _, err := sc.Partition(context.Background(), a)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", a, err)
 		}

@@ -13,6 +13,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -115,6 +116,9 @@ func (c Config) scenario(topology, app string) (*core.Scenario, error) {
 		PartSeed:   c.Seed + 3,
 		Cluster:    true,
 		Sequential: c.Sequential,
+		// The report's kernel-observability section reads each run's
+		// aggregated counters from Result.Obs.
+		CollectStats: true,
 	}
 	switch app {
 	case "ScaLapack":
@@ -145,6 +149,15 @@ type Cell struct {
 	Lookahead float64
 	Windows   int64
 	Remote    int64
+
+	// Kernel observability counters (from the run's obs.RunStats).
+	Events int64 // total kernel events processed
+	// MaxQueue is the deepest per-engine pending-event queue seen at any
+	// window barrier — the kernel's memory high-water mark.
+	MaxQueue int64
+	// BarrierWait is the total wall-clock time engines spent waiting at
+	// window barriers (parallel kernel only; ~0 when Sequential).
+	BarrierWait float64
 }
 
 // Suite is the full 3-topology × 3-approach grid for one application —
@@ -166,12 +179,12 @@ func RunSuite(app string, cfg Config) (*Suite, error) {
 		if err != nil {
 			return nil, err
 		}
-		outs, err := sc.RunAll()
+		outs, err := sc.RunAll(context.Background())
 		if err != nil {
 			return nil, err
 		}
 		for _, o := range outs {
-			suite.Cells = append(suite.Cells, Cell{
+			cell := Cell{
 				Topology:  spec.Name,
 				Engines:   spec.Engines,
 				Approach:  o.Approach,
@@ -181,7 +194,17 @@ func RunSuite(app string, cfg Config) (*Suite, error) {
 				Lookahead: o.Result.Lookahead,
 				Windows:   o.Result.Kernel.Windows,
 				Remote:    o.Result.RemoteEvents,
-			})
+			}
+			if st := o.Obs(); st != nil {
+				cell.Events = st.TotalEvents()
+				for _, q := range st.MaxQueue {
+					if q > cell.MaxQueue {
+						cell.MaxQueue = q
+					}
+				}
+				cell.BarrierWait = st.TotalBarrierWait()
+			}
+			suite.Cells = append(suite.Cells, cell)
 			suite.EngineSeries[spec.Name+"/"+string(o.Approach)] = o.Result.EngineSeries
 		}
 	}
@@ -230,7 +253,7 @@ func Fig2(cfg Config) (*metrics.Series, error) {
 	if err != nil {
 		return nil, err
 	}
-	o, err := sc.Run(mapping.Top)
+	o, err := sc.Run(context.Background(), mapping.Top)
 	if err != nil {
 		return nil, err
 	}
@@ -361,7 +384,7 @@ func Table2(cfg Config) ([]Table2Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	outs, err := sc.RunAll()
+	outs, err := sc.RunAll(context.Background())
 	if err != nil {
 		return nil, err
 	}

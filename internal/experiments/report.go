@@ -112,6 +112,13 @@ func (r *Report) Markdown() string {
 			improvement(r.Table2[0].AppTime, r.Table2[2].AppTime))
 	}
 
+	b.WriteString("## Kernel observability — runtime counters per run\n\n")
+	b.WriteString("Per-run aggregates from the kernel's observability stream: total kernel events, ")
+	b.WriteString("executed synchronization windows, cross-engine event messages, the deepest pending-event ")
+	b.WriteString("queue at any barrier (memory high-water mark), and total wall-clock barrier wait ")
+	b.WriteString("(zero in sequential runs).\n\n")
+	b.WriteString("```\n" + RenderObservability(r.ScaLapack, r.GridNPB) + "```\n\n")
+
 	if len(r.Baselines) > 0 {
 		b.WriteString("## Beyond the paper's figures — §5 baseline comparison\n\n")
 		b.WriteString("The paper argues pre-existing strategies (manual/simple hierarchical partitioning, ")
@@ -120,6 +127,24 @@ func (r *Report) Markdown() string {
 	}
 
 	fmt.Fprintf(&b, "---\nGenerated in %s.\n", r.Elapsed.Round(time.Millisecond))
+	return b.String()
+}
+
+// RenderObservability tabulates the kernel-observability counters collected
+// for every (topology, approach) run of the given suites.
+func RenderObservability(suites ...*Suite) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-10s %-8s %12s %9s %10s %10s %12s\n",
+		"app", "topology", "approach", "events", "windows", "remote-ev", "max-queue", "barrier-wait")
+	for _, s := range suites {
+		if s == nil {
+			continue
+		}
+		for _, c := range s.Cells {
+			fmt.Fprintf(&b, "%-10s %-10s %-8s %12d %9d %10d %10d %11.3fs\n",
+				s.App, c.Topology, c.Approach, c.Events, c.Windows, c.Remote, c.MaxQueue, c.BarrierWait)
+		}
+	}
 	return b.String()
 }
 

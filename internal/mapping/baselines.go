@@ -52,7 +52,7 @@ func KClusterMap(in Input) ([]int, error) {
 	nw := in.Network
 	n := nw.NumNodes()
 	if in.K > n {
-		return nil, fmt.Errorf("mapping: KCLUSTER: k = %d exceeds %d nodes", in.K, n)
+		return nil, fmt.Errorf("%w: KCLUSTER: k = %d exceeds %d nodes", ErrInfeasible, in.K, n)
 	}
 	rng := rand.New(rand.NewSource(in.PartOpts.Seed))
 
@@ -130,7 +130,7 @@ func HierMap(in Input) ([]int, error) {
 	nw := in.Network
 	n := nw.NumNodes()
 	if in.K > n {
-		return nil, fmt.Errorf("mapping: HIER: k = %d exceeds %d nodes", in.K, n)
+		return nil, fmt.Errorf("%w: HIER: k = %d exceeds %d nodes", ErrInfeasible, in.K, n)
 	}
 
 	order := make([]int, 0, n)

@@ -99,10 +99,10 @@ type Input struct {
 
 func (in *Input) defaults() error {
 	if in.Network == nil {
-		return fmt.Errorf("mapping: Network is required")
+		return fmt.Errorf("%w: Network is required", ErrBadInput)
 	}
 	if in.K < 1 {
-		return fmt.Errorf("mapping: K = %d, must be >= 1", in.K)
+		return fmt.Errorf("%w: K = %d, must be >= 1", ErrBadInput, in.K)
 	}
 	if in.Routes == nil {
 		in.Routes = in.Network.BuildRoutingTable()
@@ -160,7 +160,7 @@ func Map(a Approach, in Input) ([]int, error) {
 	case Profile:
 		return ProfileMap(in)
 	default:
-		return nil, fmt.Errorf("mapping: unknown approach %q", a)
+		return nil, fmt.Errorf("%w: unknown approach %q", ErrBadInput, a)
 	}
 }
 
@@ -404,12 +404,12 @@ func PlaceMap(in Input) ([]int, error) {
 // ProfileImprove.
 func profileGraph(in *Input) (*partition.Graph, partition.EdgeWeightSet, partition.EdgeWeightSet, error) {
 	if in.Summary == nil {
-		return nil, nil, nil, fmt.Errorf("mapping: PROFILE requires a NetFlow summary")
+		return nil, nil, nil, fmt.Errorf("%w: PROFILE requires a NetFlow summary", ErrBadInput)
 	}
 	nw := in.Network
 	if len(in.Summary.NodePackets) != nw.NumNodes() {
-		return nil, nil, nil, fmt.Errorf("mapping: summary covers %d nodes, network has %d",
-			len(in.Summary.NodePackets), nw.NumNodes())
+		return nil, nil, nil, fmt.Errorf("%w: summary covers %d nodes, network has %d",
+			ErrBadInput, len(in.Summary.NodePackets), nw.NumNodes())
 	}
 
 	// Measured per-link load (packets over the profiled run).

@@ -32,7 +32,7 @@ type GuardedResult struct {
 // tolerance bottoms out.
 func MapWithMemoryGuard(a Approach, in Input, capacity int64, maxAttempts int) (*GuardedResult, error) {
 	if capacity <= 0 {
-		return nil, fmt.Errorf("mapping: memory guard: capacity must be positive")
+		return nil, fmt.Errorf("%w: memory guard: capacity must be positive", ErrInfeasible)
 	}
 	if maxAttempts <= 0 {
 		maxAttempts = 4

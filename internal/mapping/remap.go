@@ -26,11 +26,11 @@ func RemapSurvivors(in Input, previous []int, survivors []int, engineLoads []flo
 	}
 	nw := in.Network
 	if len(previous) != nw.NumNodes() {
-		return nil, 0, fmt.Errorf("mapping: remap: previous assignment covers %d nodes, network has %d",
-			len(previous), nw.NumNodes())
+		return nil, 0, fmt.Errorf("%w: remap: previous assignment covers %d nodes, network has %d",
+			ErrBadInput, len(previous), nw.NumNodes())
 	}
 	if len(survivors) == 0 {
-		return nil, 0, fmt.Errorf("mapping: remap: no surviving engines")
+		return nil, 0, fmt.Errorf("%w: remap: no surviving engines", ErrInfeasible)
 	}
 
 	slotOf := make(map[int]int, len(survivors))

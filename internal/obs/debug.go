@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// Debug endpoint: a small HTTP server exposing Go's runtime profiling
+// (net/http/pprof) and process counters (expvar), plus any published
+// RunStats. It uses its own mux rather than http.DefaultServeMux so
+// importing this package never mutates global handlers.
+
+var (
+	publishMu  sync.Mutex
+	published  = map[string]*RunStats{}
+	registered bool
+)
+
+// Publish exposes the collector's live snapshot under the given expvar name
+// (visible at /debug/vars). Re-publishing a name replaces the previous
+// collector — unlike expvar.Publish, which panics on duplicates — so
+// repeated runs can reuse one name.
+func Publish(name string, s *RunStats) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if !registered {
+		registered = true
+		expvar.Publish("repro.runstats", expvar.Func(func() any {
+			publishMu.Lock()
+			defer publishMu.Unlock()
+			out := make(map[string]*RunStats, len(published))
+			for n, st := range published {
+				out[n] = st.Snapshot()
+			}
+			return out
+		}))
+	}
+	published[name] = s
+}
+
+// ServeDebug starts an HTTP server on addr (e.g. "localhost:6060") serving
+// /debug/pprof/* and /debug/vars, and returns the server together with its
+// resolved base URL. The caller owns shutdown (srv.Close). Pass addr with
+// port 0 to pick a free port.
+func ServeDebug(addr string) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("obs: debug endpoint: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return srv, "http://" + ln.Addr().String(), nil
+}

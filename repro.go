@@ -16,13 +16,20 @@
 // Quick start:
 //
 //	sc := &repro.Scenario{
-//		Network:       repro.Campus(),
-//		Engines:       3,
-//		Background:    repro.DefaultHTTP(60, 1),
-//		HasBackground: true,
+//		Network:      repro.Campus(),
+//		Engines:      3,
+//		Background:   repro.DefaultHTTP(60, 1),
+//		CollectStats: true,
 //	}
-//	out, err := sc.Run(repro.Profile)
-//	fmt.Println(out.Result.Imbalance)
+//	out, err := sc.Run(context.Background(), repro.Profile)
+//	fmt.Println(out.Result.Imbalance, out.Obs())
+//
+// Emulator-level runs compose options the same way:
+//
+//	res, err := repro.RunEmulation(cfg,
+//		repro.WithContext(ctx),
+//		repro.WithRecorder(repro.NewTrace(traceFile)),
+//		repro.WithStats())
 //
 // See the examples/ directory for complete programs and DESIGN.md for the
 // system inventory.
@@ -35,6 +42,7 @@ import (
 	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/netgraph"
+	"repro/internal/obs"
 	"repro/internal/partition"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
@@ -137,10 +145,76 @@ type (
 	EmuConfig = emu.Config
 	// EmuResult reports an emulation's metrics.
 	EmuResult = emu.Result
+	// EmuOption configures a run beyond the base EmuConfig (observability,
+	// cancellation, cost model). See WithRecorder, WithStats, WithContext,
+	// WithCostModel.
+	EmuOption = emu.Option
+)
+
+// Run options for RunEmulation (and, through Scenario fields, every run a
+// scenario starts).
+var (
+	// WithRecorder attaches an observability recorder to the run.
+	WithRecorder = emu.WithRecorder
+	// WithStats collects an aggregated RunStats into EmuResult.Obs.
+	WithStats = emu.WithStats
+	// WithContext threads a cancellation context, observed at window
+	// barriers.
+	WithContext = emu.WithContext
+	// WithCostModel overrides the engine cost model for one run.
+	WithCostModel = emu.WithCostModel
 )
 
 // RunEmulation executes one emulation directly (most callers use Scenario).
-func RunEmulation(cfg EmuConfig) (*EmuResult, error) { return emu.Run(cfg) }
+func RunEmulation(cfg EmuConfig, opts ...EmuOption) (*EmuResult, error) {
+	return emu.Run(cfg, opts...)
+}
+
+// Typed sentinel errors, for errors.Is branching on failure class rather
+// than message text.
+var (
+	// ErrBadConfig wraps every emulator configuration-validation failure.
+	ErrBadConfig = emu.ErrBadConfig
+	// ErrBadInput wraps malformed mapping inputs.
+	ErrBadInput = mapping.ErrBadInput
+	// ErrInfeasible wraps well-formed mapping problems with no admissible
+	// solution.
+	ErrInfeasible = mapping.ErrInfeasible
+)
+
+// Kernel observability (see internal/obs): recorders receive per-window
+// per-engine counters and recovery lifecycle events from every emulation
+// they are attached to.
+type (
+	// Recorder is the observability sink interface.
+	Recorder = obs.Recorder
+	// RunStats is the aggregated, mutex-guarded counter summary.
+	RunStats = obs.RunStats
+	// Trace is the deterministic JSONL trace writer.
+	Trace = obs.Trace
+	// ObsWindow is one window's counter snapshot as recorders see it.
+	ObsWindow = obs.Window
+	// ObsEvent is one recovery lifecycle event (checkpoint, crash,
+	// rollback, migration).
+	ObsEvent = obs.Event
+)
+
+// Observability constructors and helpers.
+var (
+	// NewTrace returns a JSONL trace recorder writing to w.
+	NewTrace = obs.NewTrace
+	// NewTraceCloser is NewTrace for sinks the trace should close.
+	NewTraceCloser = obs.NewTraceCloser
+	// NewRunStats returns an empty aggregating collector.
+	NewRunStats = obs.NewRunStats
+	// MultiRecorder fans one event stream out to several recorders.
+	MultiRecorder = obs.Multi
+	// PublishStats exposes a collector's live snapshot via expvar
+	// (/debug/vars on the ServeDebug endpoint).
+	PublishStats = obs.Publish
+	// ServeDebug starts the pprof + expvar debug HTTP endpoint.
+	ServeDebug = obs.ServeDebug
+)
 
 // SpreadHosts picks n application injection points spread evenly over the
 // network's hosts.

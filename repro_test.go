@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"testing"
 )
 
@@ -58,7 +59,7 @@ func TestFacadeScenarioWithAllBackgrounds(t *testing.T) {
 		{Network: nw, Engines: 2, Background: DefaultOnOff(5, 1)},
 	}
 	for i, sc := range scenarios {
-		out, err := sc.Run(Place)
+		out, err := sc.Run(context.Background(), Place)
 		if err != nil {
 			t.Fatalf("scenario %d: %v", i, err)
 		}
@@ -131,7 +132,7 @@ func TestFacadeDynamic(t *testing.T) {
 		App:        app, AppSeed: 1,
 	}
 	var res *DynamicResult
-	res, err := sc.RunDynamic(6, 0.01)
+	res, err := sc.RunDynamic(context.Background(), 6, 0.01)
 	if err != nil {
 		t.Fatal(err)
 	}
