@@ -178,3 +178,24 @@ func Example() {
 	fmt.Println(out.Approach, out.Result.Imbalance >= 0)
 	// Output: TOP true
 }
+
+// BenchmarkSuiteParallel measures the suite-level fan-out: one full
+// ScaLapack suite (3 topologies × 3 approaches) run with concurrent cells
+// versus the serial reference. On a multi-core host the parallel variant's
+// wall clock approaches the slowest single cell; on one core the two match.
+func BenchmarkSuiteParallel(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"parallel", false}, {"serial", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cfg := benchCfg()
+				cfg.SerialSuite = mode.serial
+				if _, err := experiments.RunSuite("ScaLapack", cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

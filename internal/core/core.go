@@ -19,6 +19,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/netgraph"
 	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/partition"
 	"repro/internal/traffic"
 )
@@ -106,12 +107,15 @@ func (o *Outcome) Obs() *obs.RunStats { return o.Result.Obs }
 
 // Routes returns (building once) the scenario's routing — flat shortest
 // paths by default, two-level per-AS tables when HierarchicalRouting is set.
+// It is the single memoized source every downstream consumer (mapping,
+// emulation, route discovery) reuses; the flat case additionally shares the
+// network's own cache, so a scenario never builds the O(n²) table twice.
 func (sc *Scenario) Routes() netgraph.Routing {
 	if sc.routes == nil {
 		if sc.HierarchicalRouting {
 			sc.routes = sc.Network.BuildHierarchicalRouting()
 		} else {
-			sc.routes = sc.Network.BuildRoutingTable()
+			sc.routes = sc.Network.SharedRoutingTable()
 		}
 	}
 	return sc.routes
@@ -260,16 +264,39 @@ func (sc *Scenario) Run(ctx context.Context, a mapping.Approach) (*Outcome, erro
 	return &Outcome{Approach: a, Assignment: part, Result: res, ProfileRun: profRun}, nil
 }
 
-// RunAll evaluates all three approaches on the same workload, in the paper's
-// order.
+// RunAll evaluates all three approaches on the same workload, reported in
+// the paper's order. The approaches are independent given the scenario's
+// shared (memoized) routing and workload, so they run concurrently on a
+// bounded worker pool; outcomes are returned in approach order regardless of
+// completion order, and every approach remains individually deterministic.
+// When a Recorder is attached the approaches run serially instead, keeping
+// the shared trace's record order deterministic.
 func (sc *Scenario) RunAll(ctx context.Context) ([]*Outcome, error) {
-	var out []*Outcome
-	for _, a := range mapping.Approaches() {
-		o, err := sc.Run(ctx, a)
+	// Materialize the lazily-memoized shared state before fanning out: the
+	// memoization writes (routes, workload, app placement) are unsynchronized
+	// by design — after this point every approach only reads them.
+	if _, err := sc.Workload(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", sc.Name, err)
+	}
+	sc.Routes()
+	sc.AppPlacement()
+
+	as := mapping.Approaches()
+	workers := 0
+	if sc.Recorder != nil {
+		workers = 1
+	}
+	out := make([]*Outcome, len(as))
+	err := parallel.ForEachErr(len(as), workers, func(i int) error {
+		o, err := sc.Run(ctx, as[i])
 		if err != nil {
-			return nil, fmt.Errorf("core: %s on %s: %w", a, sc.Name, err)
+			return fmt.Errorf("core: %s on %s: %w", as[i], sc.Name, err)
 		}
-		out = append(out, o)
+		out[i] = o
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"testing"
 
 	"repro/internal/apps"
@@ -310,5 +311,76 @@ func TestHeterogeneousEngines(t *testing.T) {
 	blind := busyImbalance(build(false))
 	if aware >= blind {
 		t.Errorf("capacity-aware busy imbalance %.3f >= capacity-blind %.3f", aware, blind)
+	}
+}
+
+// TestRoutingBuiltOncePerScenario is the satellite regression for the shared
+// route cache: a core-driven pipeline — partitioning, emulation, and even
+// the emulated-traceroute discovery — must build its routing exactly once,
+// never falling back to mapping.Input's nil-Routes rebuild.
+func TestRoutingBuiltOncePerScenario(t *testing.T) {
+	sc := campusScenario(false)
+	if _, err := sc.RunAll(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := sc.Network.RoutingBuilds(); got != 1 {
+		t.Errorf("RunAll built the routing table %d times, want exactly 1", got)
+	}
+
+	// The PLACE traceroute-discovery path threads the same cached table.
+	scProbe := campusScenario(false)
+	scProbe.EmulatedTraceroute = true
+	if _, err := scProbe.Run(context.Background(), mapping.Place); err != nil {
+		t.Fatal(err)
+	}
+	if got := scProbe.Network.RoutingBuilds(); got != 1 {
+		t.Errorf("traceroute discovery built the routing table %d times, want exactly 1", got)
+	}
+
+	// Hierarchical scenarios build the two-level table once and nothing else.
+	scHier := campusScenario(false)
+	scHier.HierarchicalRouting = true
+	if _, err := scHier.Run(context.Background(), mapping.Top); err != nil {
+		t.Fatal(err)
+	}
+	if got := scHier.Network.RoutingBuilds(); got != 1 {
+		t.Errorf("hierarchical scenario performed %d routing builds, want exactly 1", got)
+	}
+}
+
+// TestRunAllParallelMatchesSerial checks the fan-out's determinism contract:
+// RunAll (concurrent approaches) returns outcomes identical to running each
+// approach alone, in approach order. GOMAXPROCS is raised so the concurrent
+// path really executes even on single-CPU machines.
+func TestRunAllParallelMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	par, err := campusScenario(false).RunAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(mapping.Approaches()) {
+		t.Fatalf("RunAll returned %d outcomes, want %d", len(par), len(mapping.Approaches()))
+	}
+	for i, a := range mapping.Approaches() {
+		if par[i].Approach != a {
+			t.Fatalf("outcome %d is %s, want %s (deterministic ordering)", i, par[i].Approach, a)
+		}
+		solo, err := campusScenario(false).Run(context.Background(), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(par[i].Assignment) != len(solo.Assignment) {
+			t.Fatalf("%s: assignment lengths differ", a)
+		}
+		for v := range solo.Assignment {
+			if par[i].Assignment[v] != solo.Assignment[v] {
+				t.Fatalf("%s: assignment differs at node %d under parallel RunAll", a, v)
+			}
+		}
+		if par[i].Result.Imbalance != solo.Result.Imbalance || par[i].Result.AppTime != solo.Result.AppTime {
+			t.Errorf("%s: metrics differ: parallel (%v, %v) vs solo (%v, %v)", a,
+				par[i].Result.Imbalance, par[i].Result.AppTime,
+				solo.Result.Imbalance, solo.Result.AppTime)
+		}
 	}
 }

@@ -291,7 +291,10 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	nw := cfg.Network
 	rt := cfg.Routes
 	if rt == nil {
-		rt = nw.BuildRoutingTable()
+		// Callers running a pipeline should thread one Routing through
+		// (core.Scenario.Routes() is the memoized source); the shared cache
+		// keeps even bare emu.Run loops from rebuilding the O(n²) table.
+		rt = nw.SharedRoutingTable()
 	}
 
 	// Resolve flow routes up front; routes are static for a run.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/des"
 	"repro/internal/netgraph"
+	"repro/internal/parallel"
 )
 
 // This file implements the ICMP subset MaSSF needed for the PLACE approach
@@ -67,7 +68,7 @@ type tracerouteRun struct {
 // maxTTL bounds the probe count (default 32 when <= 0).
 func RunTraceroute(nw *netgraph.Network, rt netgraph.Routing, assignment []int, numEngines, src, dst, maxTTL int) (*TracerouteResult, error) {
 	if rt == nil {
-		rt = nw.BuildRoutingTable()
+		rt = nw.SharedRoutingTable()
 	}
 	if maxTTL <= 0 {
 		maxTTL = 32
@@ -203,33 +204,58 @@ func (tr *tracerouteRun) forward(t float64, node, dst int, s *des.Scheduler, wra
 	s.Schedule(tr.assignment[next], arrival, wrap(arrival, next))
 }
 
-// DiscoverRoutes runs emulated traceroutes between the given endpoints and
-// returns, for each ordered pair, the link path — the data PLACE aggregates
-// predicted traffic over. When representatives is true it applies the
-// paper's optimization: probe only between each endpoint's access router
-// ("one representative endpoint for each sub-network"), then splice the
-// access links onto the shared router-to-router path, reducing the number of
-// traceroute executions from O(h²) to O(r²).
-func DiscoverRoutes(nw *netgraph.Network, rt netgraph.Routing, assignment []int, numEngines int, endpoints []int, representatives bool) (map[[2]int][]int, error) {
-	if rt == nil {
-		rt = nw.BuildRoutingTable()
+// traceroutePairs runs one emulated traceroute per ordered pair, fanning the
+// pairs out over a bounded worker pool — every discovery is an independent,
+// deterministic DES run, so the resulting map is identical to the serial
+// sweep's.
+func traceroutePairs(nw *netgraph.Network, rt netgraph.Routing, assignment []int, numEngines int, pairs [][2]int) (map[[2]int][]int, error) {
+	paths := make([][]int, len(pairs))
+	err := parallel.ForEachErr(len(pairs), 0, func(i int) error {
+		res, err := RunTraceroute(nw, rt, assignment, numEngines, pairs[i][0], pairs[i][1], 0)
+		if err != nil {
+			return err
+		}
+		paths[i] = hopsToLinks(nw, pairs[i][0], res.Hops)
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	out := make(map[[2]int][]int)
+	out := make(map[[2]int][]int, len(pairs))
+	for i, p := range pairs {
+		out[p] = paths[i]
+	}
+	return out, nil
+}
 
-	if !representatives {
-		for _, src := range endpoints {
-			for _, dst := range endpoints {
-				if src == dst {
-					continue
-				}
-				res, err := RunTraceroute(nw, rt, assignment, numEngines, src, dst, 0)
-				if err != nil {
-					return nil, err
-				}
-				out[[2]int{src, dst}] = hopsToLinks(nw, src, res.Hops)
+// orderedPairs lists the ordered distinct pairs of nodes in slice order.
+func orderedPairs(nodes []int) [][2]int {
+	pairs := make([][2]int, 0, len(nodes)*(len(nodes)-1))
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src != dst {
+				pairs = append(pairs, [2]int{src, dst})
 			}
 		}
-		return out, nil
+	}
+	return pairs
+}
+
+// DiscoverRoutes runs emulated traceroutes between the given endpoints and
+// returns, for each ordered pair, the link path — the data PLACE aggregates
+// predicted traffic over. The independent per-pair discoveries run
+// concurrently (bounded by GOMAXPROCS). When representatives is true it
+// applies the paper's optimization: probe only between each endpoint's
+// access router ("one representative endpoint for each sub-network"), then
+// splice the access links onto the shared router-to-router path, reducing
+// the number of traceroute executions from O(h²) to O(r²).
+func DiscoverRoutes(nw *netgraph.Network, rt netgraph.Routing, assignment []int, numEngines int, endpoints []int, representatives bool) (map[[2]int][]int, error) {
+	if rt == nil {
+		rt = nw.SharedRoutingTable()
+	}
+
+	if !representatives {
+		return traceroutePairs(nw, rt, assignment, numEngines, orderedPairs(endpoints))
 	}
 
 	// Representative mode: traceroute between unique access routers only.
@@ -247,19 +273,11 @@ func DiscoverRoutes(nw *netgraph.Network, rt netgraph.Routing, assignment []int,
 			reps = append(reps, r)
 		}
 	}
-	core := make(map[[2]int][]int)
-	for _, a := range reps {
-		for _, b := range reps {
-			if a == b {
-				continue
-			}
-			res, err := RunTraceroute(nw, rt, assignment, numEngines, a, b, 0)
-			if err != nil {
-				return nil, err
-			}
-			core[[2]int{a, b}] = hopsToLinks(nw, a, res.Hops)
-		}
+	core, err := traceroutePairs(nw, rt, assignment, numEngines, orderedPairs(reps))
+	if err != nil {
+		return nil, err
 	}
+	out := make(map[[2]int][]int)
 	for _, src := range endpoints {
 		for _, dst := range endpoints {
 			if src == dst {

@@ -22,6 +22,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/parallel"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
 )
@@ -37,6 +39,15 @@ type Config struct {
 	Seed int64
 	// Sequential forces single-threaded kernel execution.
 	Sequential bool
+	// SerialSuite runs RunSuite's topology cells one at a time instead of
+	// fanning them out over the worker pool — the reference execution the
+	// parallel-determinism regression tests compare against.
+	SerialSuite bool
+	// CellRecorder, when non-nil, supplies an observability recorder per
+	// suite cell (keyed by topology name). Attaching a recorder also makes
+	// that cell's three approaches run serially, so each per-cell trace is
+	// byte-identical whether the suite itself ran fanned-out or serial.
+	CellRecorder func(topology string) obs.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -170,20 +181,36 @@ type Suite struct {
 }
 
 // RunSuite executes one application across the three Table 1 topologies and
-// all three mapping approaches on the shared workload.
+// all three mapping approaches on the shared workload. The topology cells
+// are independent scenarios, so they run concurrently on a bounded worker
+// pool (serially under Config.SerialSuite); cells are assembled in the
+// Table 1 topology × approach order regardless of completion order, and
+// every cell's results are identical to a serial execution's.
 func RunSuite(app string, cfg Config) (*Suite, error) {
 	cfg = cfg.withDefaults()
+	specs := topogen.Table1()
+	cellOuts := make([][]*core.Outcome, len(specs))
+	workers := 0
+	if cfg.SerialSuite {
+		workers = 1
+	}
+	err := parallel.ForEachErr(len(specs), workers, func(i int) error {
+		sc, err := cfg.scenario(specs[i].Name, app)
+		if err != nil {
+			return err
+		}
+		if cfg.CellRecorder != nil {
+			sc.Recorder = cfg.CellRecorder(specs[i].Name)
+		}
+		cellOuts[i], err = sc.RunAll(context.Background())
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
 	suite := &Suite{App: app, EngineSeries: make(map[string]*metrics.Series)}
-	for _, spec := range topogen.Table1() {
-		sc, err := cfg.scenario(spec.Name, app)
-		if err != nil {
-			return nil, err
-		}
-		outs, err := sc.RunAll(context.Background())
-		if err != nil {
-			return nil, err
-		}
-		for _, o := range outs {
+	for i, spec := range specs {
+		for _, o := range cellOuts[i] {
 			cell := Cell{
 				Topology:  spec.Name,
 				Engines:   spec.Engines,

@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"bytes"
 	"os"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 
 	"repro/internal/mapping"
+	"repro/internal/obs"
 )
 
 // testCfg uses the calibrated default duration (120 virtual seconds).
@@ -372,6 +375,68 @@ func TestFig3(t *testing.T) {
 	for _, want := range []string{"SDSC", "NCSA", "ANL", "CIT", "PSC", "40 Gb/s", "hub"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("Fig3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunSuiteParallelTraceMatchesSerial is the determinism regression for
+// the suite-level fan-out: a RunSuite executed with concurrent topology
+// cells must produce, for every cell, an obs JSONL trace byte-identical to
+// the serial run's — and identical headline cells. GOMAXPROCS is raised so
+// the fan-out really runs concurrently even on single-CPU machines.
+func TestRunSuiteParallelTraceMatchesSerial(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	run := func(serial bool) (*Suite, map[string]string) {
+		var mu sync.Mutex
+		bufs := make(map[string]*bytes.Buffer)
+		traces := make(map[string]*obs.Trace)
+		cfg := Config{Duration: 20, Seed: 42, SerialSuite: serial}
+		cfg.CellRecorder = func(topology string) obs.Recorder {
+			mu.Lock()
+			defer mu.Unlock()
+			b := &bytes.Buffer{}
+			tr := obs.NewTrace(b)
+			bufs[topology] = b
+			traces[topology] = tr
+			return tr
+		}
+		s, err := RunSuite("ScaLapack", cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]string, len(bufs))
+		for topo, tr := range traces {
+			if err := tr.Flush(); err != nil {
+				t.Fatal(err)
+			}
+			out[topo] = bufs[topo].String()
+		}
+		return s, out
+	}
+	parSuite, parTraces := run(false)
+	serSuite, serTraces := run(true)
+	if len(parTraces) != 3 || len(serTraces) != 3 {
+		t.Fatalf("got %d parallel / %d serial cell traces, want 3 each", len(parTraces), len(serTraces))
+	}
+	for topo, ser := range serTraces {
+		if ser == "" {
+			t.Fatalf("%s: empty serial trace", topo)
+		}
+		if parTraces[topo] != ser {
+			t.Errorf("%s: parallel fan-out trace differs from serial run", topo)
+		}
+	}
+	if len(parSuite.Cells) != len(serSuite.Cells) {
+		t.Fatalf("cell counts differ: %d vs %d", len(parSuite.Cells), len(serSuite.Cells))
+	}
+	for i := range serSuite.Cells {
+		// BarrierWait is wall-clock time spent at window barriers — the one
+		// legitimately nondeterministic cell field; everything else must be
+		// bit-equal.
+		p, s := parSuite.Cells[i], serSuite.Cells[i]
+		p.BarrierWait, s.BarrierWait = 0, 0
+		if p != s {
+			t.Errorf("cell %d differs under parallel fan-out:\n  parallel: %+v\n  serial:   %+v", i, p, s)
 		}
 	}
 }

@@ -53,7 +53,12 @@ const DefaultLatencyPriority = 0.6
 type Input struct {
 	// Network is the virtual topology. Required.
 	Network *netgraph.Network
-	// Routes is the routing table; built on demand when nil.
+	// Routes is the routing table. Leaving it nil triggers a full O(n²)
+	// all-pairs rebuild via Network.SharedRoutingTable() — memoized per
+	// network, but still a cost pipelines should not pay implicitly: core-
+	// driven runs always thread core.Scenario.Routes() through here (the
+	// "built exactly once per scenario" tests enforce it), so the fallback
+	// exists only for callers invoking an approach standalone.
 	Routes netgraph.Routing
 	// K is the number of simulation-engine nodes. Required.
 	K int
@@ -105,7 +110,7 @@ func (in *Input) defaults() error {
 		return fmt.Errorf("%w: K = %d, must be >= 1", ErrBadInput, in.K)
 	}
 	if in.Routes == nil {
-		in.Routes = in.Network.BuildRoutingTable()
+		in.Routes = in.Network.SharedRoutingTable()
 	}
 	if in.LatencyPriority <= 0 || in.LatencyPriority >= 1 {
 		in.LatencyPriority = DefaultLatencyPriority

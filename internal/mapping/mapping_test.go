@@ -232,3 +232,35 @@ func TestAssessQuality(t *testing.T) {
 		t.Error("Verify accepted wrong k")
 	}
 }
+
+// TestNilRoutesFallbackMemoized documents Input.Routes' contract: a nil
+// Routes triggers the full O(n²) all-pairs rebuild, but through the
+// network's shared cache — so repeated standalone approach calls on the same
+// network still build the table exactly once.
+func TestNilRoutesFallbackMemoized(t *testing.T) {
+	nw := topogen.Campus()
+	if got := nw.RoutingBuilds(); got != 0 {
+		t.Fatalf("fresh network reports %d routing builds", got)
+	}
+	if _, err := TopMap(Input{Network: nw, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.RoutingBuilds(); got != 1 {
+		t.Errorf("nil Routes did not trigger the rebuild: %d builds, want 1", got)
+	}
+	if _, err := PlaceMap(Input{Network: nw, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw.RoutingBuilds(); got != 1 {
+		t.Errorf("second nil-Routes call rebuilt the table: %d builds, want 1 (shared cache)", got)
+	}
+	// An explicitly threaded Routing suppresses the fallback entirely.
+	nw2 := topogen.Campus()
+	rt := nw2.BuildRoutingTable()
+	if _, err := TopMap(Input{Network: nw2, Routes: rt, K: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if got := nw2.RoutingBuilds(); got != 1 {
+		t.Errorf("explicit Routes still rebuilt: %d builds, want 1", got)
+	}
+}

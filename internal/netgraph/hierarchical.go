@@ -1,9 +1,10 @@
 package netgraph
 
 import (
-	"container/heap"
 	"math"
 	"sort"
+
+	"repro/internal/parallel"
 )
 
 // Routing is the routing interface the emulator and the mapping approaches
@@ -66,11 +67,21 @@ type intraTable struct {
 	dist     []float64
 }
 
-// BuildHierarchicalRouting constructs the two-level table. Nodes keep their
+// BuildHierarchicalRouting constructs the two-level table, computing the
+// per-AS intra tables concurrently (GOMAXPROCS workers). Nodes keep their
 // Node.AS assignment; every AS subgraph should be internally connected for
 // full reachability (nodes that cannot reach their AS border are simply
 // unreachable from outside, mirroring a real misconfigured AS).
 func (nw *Network) BuildHierarchicalRouting() *HierarchicalTable {
+	return nw.BuildHierarchicalRoutingParallel(0)
+}
+
+// BuildHierarchicalRoutingParallel is BuildHierarchicalRouting with an
+// explicit worker count for the per-AS fan-out: non-positive means
+// GOMAXPROCS, 1 the exact sequential build. Each AS writes only its own
+// intra-table slot, so the result is identical regardless of worker count.
+func (nw *Network) BuildHierarchicalRoutingParallel(workers int) *HierarchicalTable {
+	nw.builds.Add(1)
 	n := len(nw.Nodes)
 	h := &HierarchicalTable{
 		nw:        nw,
@@ -98,11 +109,19 @@ func (nw *Network) BuildHierarchicalRouting() *HierarchicalTable {
 		h.member[a] = append(h.member[a], node.ID)
 	}
 
-	// Intra-AS shortest paths per AS subgraph.
+	// Intra-AS shortest paths per AS subgraph, one independent Dijkstra
+	// sweep per AS; each worker reuses one scratch across its ASes.
 	h.intra = make([]intraTable, numAS)
-	for a := 0; a < numAS; a++ {
-		h.intra[a] = nw.intraDijkstraAll(h, a)
-	}
+	w := parallel.Workers(workers, numAS)
+	scratches := make([]*dijkstraScratch, w)
+	parallel.ForEachWorker(numAS, w, func(worker, a int) {
+		s := scratches[worker]
+		if s == nil {
+			s = newDijkstraScratch(len(h.member[a]))
+			scratches[worker] = s
+		}
+		h.intra[a] = nw.intraDijkstraAll(h, a, s)
+	})
 
 	// AS-level graph: min-latency border link per AS pair.
 	type asEdge struct {
@@ -168,8 +187,8 @@ func (nw *Network) BuildHierarchicalRouting() *HierarchicalTable {
 }
 
 // intraDijkstraAll computes all-pairs next-hop routing within one AS
-// subgraph.
-func (nw *Network) intraDijkstraAll(h *HierarchicalTable, a int) intraTable {
+// subgraph, reusing the caller's scratch across the AS's sources.
+func (nw *Network) intraDijkstraAll(h *HierarchicalTable, a int, s *dijkstraScratch) intraTable {
 	members := h.member[a]
 	m := len(members)
 	t := intraTable{
@@ -182,20 +201,19 @@ func (nw *Network) intraDijkstraAll(h *HierarchicalTable, a int) intraTable {
 	}
 	for si := range members {
 		dist := t.dist[si*m : si*m+m]
-		first := t.nextLink[si*m : si*m+m]
+		s.reset(m)
+		first, done := s.firstLink, s.done
 		dist[si] = 0
-		done := make([]bool, m)
-		pq := &nodePQ{{node: si, dist: 0}}
-		for pq.Len() > 0 {
-			it := heap.Pop(pq).(pqItem)
-			vi := it.node
+		s.push(pqItem{node: si})
+		for len(s.heap) > 0 {
+			vi := s.pop().node
 			if done[vi] {
 				continue
 			}
 			done[vi] = true
 			v := members[vi]
 			for _, lid := range nw.adj[v] {
-				l := nw.Links[lid]
+				l := &nw.Links[lid]
 				u := l.Other(v)
 				if h.asIdx[h.asOf[u]] != a {
 					continue // border link: not part of the intra table
@@ -209,11 +227,12 @@ func (nw *Network) intraDijkstraAll(h *HierarchicalTable, a int) intraTable {
 				if nd < dist[ui] || (nd == dist[ui] && !done[ui] && first[ui] > f) {
 					dist[ui] = nd
 					first[ui] = f
-					heap.Push(pq, pqItem{node: ui, dist: nd})
+					s.push(pqItem{node: ui, dist: nd})
 				}
 			}
 		}
-		first[si] = -1
+		copy(t.nextLink[si*m:si*m+m], first)
+		t.nextLink[si*m+si] = -1
 	}
 	return t
 }

@@ -8,9 +8,12 @@
 package netgraph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/parallel"
 )
 
 // NodeKind distinguishes packet-forwarding routers from traffic-terminating
@@ -79,6 +82,16 @@ type Network struct {
 	Links []Link
 	// adj[n] lists link IDs incident to node n.
 	adj [][]int
+
+	// Shared routing cache (SharedRoutingTable): the memoized flat table,
+	// invalidated by topology mutations via gen. builds counts every full
+	// routing construction (flat or hierarchical) for the tests asserting
+	// that pipelines reuse one table instead of rebuilding O(n²) state.
+	mu        sync.Mutex
+	gen       int64
+	cachedGen int64
+	cachedRT  *RoutingTable
+	builds    atomic.Int64
 }
 
 // New returns an empty network with the given name.
@@ -100,7 +113,15 @@ func (nw *Network) addNode(n Node) int {
 	n.ID = len(nw.Nodes)
 	nw.Nodes = append(nw.Nodes, n)
 	nw.adj = append(nw.adj, nil)
+	nw.invalidateRouting()
 	return n.ID
+}
+
+// invalidateRouting marks any cached routing stale after a topology mutation.
+func (nw *Network) invalidateRouting() {
+	nw.mu.Lock()
+	nw.gen++
+	nw.mu.Unlock()
 }
 
 // SetSite labels node n with a site.
@@ -113,6 +134,7 @@ func (nw *Network) AddLink(a, b int, bandwidth, latency float64) int {
 	nw.Links = append(nw.Links, l)
 	nw.adj[a] = append(nw.adj[a], l.ID)
 	nw.adj[b] = append(nw.adj[b], l.ID)
+	nw.invalidateRouting()
 	return l.ID
 }
 
@@ -295,9 +317,19 @@ type RoutingTable struct {
 }
 
 // BuildRoutingTable runs Dijkstra from every node over link latencies and
-// materializes the full next-hop table. Ties are broken deterministically by
-// link ID.
+// materializes the full next-hop table, fanning sources out over GOMAXPROCS
+// workers. Ties are broken deterministically by link ID, and each source
+// writes only its own table row, so the result is byte-identical to the
+// sequential build regardless of worker count.
 func (nw *Network) BuildRoutingTable() *RoutingTable {
+	return nw.BuildRoutingTableParallel(0)
+}
+
+// BuildRoutingTableParallel is BuildRoutingTable with an explicit worker
+// count: non-positive means GOMAXPROCS, 1 is the exact sequential build the
+// equivalence tests compare against.
+func (nw *Network) BuildRoutingTableParallel(workers int) *RoutingTable {
+	nw.builds.Add(1)
 	n := len(nw.Nodes)
 	rt := &RoutingTable{
 		n:        n,
@@ -308,55 +340,161 @@ func (nw *Network) BuildRoutingTable() *RoutingTable {
 		rt.nextLink[i] = -1
 		rt.dist[i] = math.Inf(1)
 	}
-	for src := 0; src < n; src++ {
-		nw.dijkstra(src, rt)
-	}
+	w := parallel.Workers(workers, n)
+	scratches := make([]*dijkstraScratch, w)
+	parallel.ForEachWorker(n, w, func(worker, src int) {
+		s := scratches[worker]
+		if s == nil {
+			s = newDijkstraScratch(n)
+			scratches[worker] = s
+		}
+		nw.dijkstra(src, rt, s)
+	})
 	return rt
 }
 
+// SharedRoutingTable returns the network's memoized flat routing table,
+// building it on first use and after any topology mutation. It is the single
+// fallback every nil-Routes code path (emu.Run, the ICMP discovery, the
+// mapping approaches) shares, so a pipeline that never threads a table
+// explicitly still pays the O(n²) construction at most once. Safe for
+// concurrent use; do not mutate the topology while runs are in flight.
+func (nw *Network) SharedRoutingTable() *RoutingTable {
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	if nw.cachedRT == nil || nw.cachedGen != nw.gen {
+		nw.cachedRT = nw.BuildRoutingTable()
+		nw.cachedGen = nw.gen
+	}
+	return nw.cachedRT
+}
+
+// RoutingBuilds reports how many full routing constructions (flat or
+// hierarchical) this network has performed — the counter the "built exactly
+// once per scenario" regression tests watch.
+func (nw *Network) RoutingBuilds() int64 { return nw.builds.Load() }
+
+// pqItem is one priority-queue entry: a node (an index local to the graph
+// being searched) at a tentative distance.
 type pqItem struct {
 	node int
 	dist float64
 }
 
-type nodePQ []pqItem
-
-func (q nodePQ) Len() int      { return len(q) }
-func (q nodePQ) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q nodePQ) Less(i, j int) bool {
-	if q[i].dist != q[j].dist {
-		return q[i].dist < q[j].dist
+// pqLess orders the Dijkstra frontier by (distance, node) — the same total
+// order the original container/heap implementation used, which makes the pop
+// sequence (and therefore the built table) independent of heap layout.
+func pqLess(a, b pqItem) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
 	}
-	return q[i].node < q[j].node
+	return a.node < b.node
 }
-func (q *nodePQ) Push(x any) { *q = append(*q, x.(pqItem)) }
-func (q *nodePQ) Pop() any {
-	old := *q
-	it := old[len(old)-1]
-	*q = old[:len(old)-1]
+
+// dijkstraScratch is the reusable per-worker state of one Dijkstra
+// execution: visited flags, the first-hop-link column being built, and the
+// frontier heap's backing array. Reusing it across sources removes every
+// per-source allocation from the all-pairs build — the same zero-alloc
+// treatment the des kernel's event heap got, where container/heap's
+// any-typed interface was boxing two allocations onto every push/pop.
+type dijkstraScratch struct {
+	done      []bool
+	firstLink []int32
+	heap      []pqItem
+}
+
+func newDijkstraScratch(n int) *dijkstraScratch {
+	return &dijkstraScratch{
+		done:      make([]bool, n),
+		firstLink: make([]int32, n),
+		heap:      make([]pqItem, 0, n),
+	}
+}
+
+// reset prepares the scratch for a search over n nodes, growing the buffers
+// when the previous search was smaller.
+func (s *dijkstraScratch) reset(n int) {
+	if cap(s.done) < n {
+		s.done = make([]bool, n)
+		s.firstLink = make([]int32, n)
+	}
+	s.done = s.done[:n]
+	s.firstLink = s.firstLink[:n]
+	for i := range s.done {
+		s.done[i] = false
+	}
+	for i := range s.firstLink {
+		s.firstLink[i] = -1
+	}
+	s.heap = s.heap[:0]
+}
+
+// push adds an item to the 4-ary min-heap. A 4-ary layout halves the tree
+// depth of the binary heap and keeps each sift's children in one cache line,
+// which is where the Dijkstra inner loop spends its time.
+func (s *dijkstraScratch) push(it pqItem) {
+	s.heap = append(s.heap, it)
+	q := s.heap
+	i := len(q) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !pqLess(q[i], q[p]) {
+			break
+		}
+		q[i], q[p] = q[p], q[i]
+		i = p
+	}
+}
+
+// pop removes and returns the minimum item.
+func (s *dijkstraScratch) pop() pqItem {
+	q := s.heap
+	it := q[0]
+	last := len(q) - 1
+	q[0] = q[last]
+	q = q[:last]
+	s.heap = q
+	i := 0
+	for {
+		first := 4*i + 1
+		if first >= last {
+			break
+		}
+		min := first
+		end := first + 4
+		if end > last {
+			end = last
+		}
+		for c := first + 1; c < end; c++ {
+			if pqLess(q[c], q[min]) {
+				min = c
+			}
+		}
+		if !pqLess(q[min], q[i]) {
+			break
+		}
+		q[i], q[min] = q[min], q[i]
+		i = min
+	}
 	return it
 }
 
-func (nw *Network) dijkstra(src int, rt *RoutingTable) {
+func (nw *Network) dijkstra(src int, rt *RoutingTable, s *dijkstraScratch) {
 	n := len(nw.Nodes)
 	base := src * n
 	dist := rt.dist[base : base+n]
-	firstLink := make([]int32, n) // first hop from src on the best path
-	for i := range firstLink {
-		firstLink[i] = -1
-	}
+	s.reset(n)
+	firstLink, done := s.firstLink, s.done
 	dist[src] = 0
-	done := make([]bool, n)
-	pq := &nodePQ{{node: src, dist: 0}}
-	for pq.Len() > 0 {
-		it := heap.Pop(pq).(pqItem)
-		v := it.node
+	s.push(pqItem{node: src})
+	for len(s.heap) > 0 {
+		v := s.pop().node
 		if done[v] {
 			continue
 		}
 		done[v] = true
 		for _, lid := range nw.adj[v] {
-			l := nw.Links[lid]
+			l := &nw.Links[lid]
 			u := l.Other(v)
 			nd := dist[v] + l.Latency
 			first := firstLink[v]
@@ -368,13 +506,11 @@ func (nw *Network) dijkstra(src int, rt *RoutingTable) {
 			if nd < dist[u] || (nd == dist[u] && !done[u] && firstLink[u] > first) {
 				dist[u] = nd
 				firstLink[u] = first
-				heap.Push(pq, pqItem{node: u, dist: nd})
+				s.push(pqItem{node: u, dist: nd})
 			}
 		}
 	}
-	for dst := 0; dst < n; dst++ {
-		rt.nextLink[base+dst] = firstLink[dst]
-	}
+	copy(rt.nextLink[base:base+n], firstLink)
 	rt.nextLink[base+src] = -1
 }
 

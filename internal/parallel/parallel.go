@@ -1,0 +1,96 @@
+// Package parallel is the small bounded worker-pool utility the
+// precomputation pipeline shares: all-pairs routing fans its Dijkstra sources
+// out with ForEachWorker, route discovery and the experiment harness fan
+// independent cells out with ForEachErr.
+//
+// The contract every helper keeps is determinism by construction: indices are
+// claimed atomically but results must be written to per-index state, so the
+// outcome of a parallel run is identical to the sequential one regardless of
+// scheduling. One worker (or one item) degenerates to an inline loop on the
+// caller's goroutine — the exact sequential execution the equivalence tests
+// compare against.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a requested worker count: non-positive means GOMAXPROCS,
+// and the result never exceeds n (no point parking idle goroutines) nor drops
+// below 1.
+func Workers(workers, n int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
+}
+
+// ForEach calls fn(i) exactly once for every i in [0, n), using at most
+// `workers` goroutines (GOMAXPROCS when workers <= 0), and returns when all
+// calls have finished. With one effective worker the calls run inline, in
+// index order, on the caller's goroutine. fn must be safe to call
+// concurrently for distinct indices and must confine its writes to per-index
+// state.
+func ForEach(n, workers int, fn func(i int)) {
+	ForEachWorker(n, workers, func(_, i int) { fn(i) })
+}
+
+// ForEachWorker is ForEach for callers that keep per-worker scratch state:
+// fn additionally receives the executing worker's index in
+// [0, Workers(workers, n)), stable for the lifetime of the call.
+func ForEachWorker(n, workers int, fn func(worker, i int)) {
+	if n <= 0 {
+		return
+	}
+	w := Workers(workers, n)
+	if w == 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for g := 0; g < w; g++ {
+		go func(worker int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(worker, i)
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// ForEachErr runs fn(i) for every i in [0, n) like ForEach and returns the
+// error of the lowest failing index — deterministic regardless of
+// scheduling. All indices are visited even when some fail (items are
+// independent; there is no early cancellation).
+func ForEachErr(n, workers int, fn func(i int) error) error {
+	var mu sync.Mutex
+	firstIdx := -1
+	var firstErr error
+	ForEach(n, workers, func(i int) {
+		if err := fn(i); err != nil {
+			mu.Lock()
+			if firstIdx < 0 || i < firstIdx {
+				firstIdx, firstErr = i, err
+			}
+			mu.Unlock()
+		}
+	})
+	return firstErr
+}

@@ -1,0 +1,107 @@
+package parallel
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(4, 100); got != 4 {
+		t.Errorf("Workers(4, 100) = %d, want 4", got)
+	}
+	if got := Workers(8, 3); got != 3 {
+		t.Errorf("Workers(8, 3) = %d, want 3 (capped at n)", got)
+	}
+	if got := Workers(0, 16); got < 1 {
+		t.Errorf("Workers(0, 16) = %d, want >= 1", got)
+	}
+	if got := Workers(-1, 0); got != 1 {
+		t.Errorf("Workers(-1, 0) = %d, want 1", got)
+	}
+}
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			const n = 500
+			counts := make([]atomic.Int32, n)
+			ForEach(n, workers, func(i int) { counts[i].Add(1) })
+			for i := range counts {
+				if c := counts[i].Load(); c != 1 {
+					t.Fatalf("index %d visited %d times, want 1", i, c)
+				}
+			}
+		})
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	called := 0
+	ForEach(0, 4, func(int) { called++ })
+	if called != 0 {
+		t.Errorf("ForEach(0, ...) made %d calls, want 0", called)
+	}
+	// A single worker runs inline and in order: a plain int counter is safe.
+	var order []int
+	ForEach(5, 1, func(i int) { order = append(order, i) })
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("single-worker order = %v, want ascending", order)
+		}
+	}
+}
+
+func TestForEachWorkerIDsInRange(t *testing.T) {
+	const n, workers = 200, 4
+	var bad atomic.Int32
+	ForEachWorker(n, workers, func(worker, i int) {
+		if worker < 0 || worker >= workers {
+			bad.Add(1)
+		}
+	})
+	if bad.Load() != 0 {
+		t.Errorf("%d calls saw a worker index outside [0, %d)", bad.Load(), workers)
+	}
+}
+
+func TestForEachErrLowestIndexWins(t *testing.T) {
+	errLow := errors.New("low")
+	errHigh := errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := ForEachErr(100, workers, func(i int) error {
+			switch i {
+			case 17:
+				return errLow
+			case 80:
+				return errHigh
+			}
+			return nil
+		})
+		if !errors.Is(err, errLow) {
+			t.Errorf("workers=%d: err = %v, want the lowest failing index's error", workers, err)
+		}
+	}
+	if err := ForEachErr(50, 4, func(int) error { return nil }); err != nil {
+		t.Errorf("all-nil ForEachErr returned %v", err)
+	}
+}
+
+func TestForEachErrVisitsAllDespiteFailures(t *testing.T) {
+	const n = 64
+	var visited atomic.Int32
+	err := ForEachErr(n, 8, func(i int) error {
+		visited.Add(1)
+		if i%2 == 0 {
+			return fmt.Errorf("fail %d", i)
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	if got := visited.Load(); got != n {
+		t.Errorf("visited %d indices, want %d (no early cancellation)", got, n)
+	}
+}
