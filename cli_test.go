@@ -161,6 +161,92 @@ func TestCLIMassfObservability(t *testing.T) {
 	}
 }
 
+// TestCLIMassfFlagValidation: contradictory flag combinations are rejected
+// up front, before any topology or traffic generation runs.
+func TestCLIMassfFlagValidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "massf")
+	netfile := filepath.Join(t.TempDir(), "c.net")
+	if _, stderr, err := run(t, bin, "-export", netfile); err != nil {
+		t.Fatalf("export failed: %v\n%s", err, stderr)
+	}
+	cases := []struct {
+		name string
+		args []string
+		want string // substring of the stderr diagnostic
+	}{
+		{"netfile-without-engines", []string{"-netfile", netfile}, "-netfile requires -engines"},
+		{"engines-without-netfile", []string{"-engines", "4"}, "-engines only applies"},
+		{"record-plus-replay", []string{"-record", "a", "-replay", "b"}, "would only copy"},
+		{"export-plus-stats", []string{"-export", netfile, "-stats"}, "needs an emulation run"},
+		{"topostats-plus-matrix", []string{"-topostats", "-matrix-out", "m.json"}, "needs an emulation run"},
+		{"metrics-pprof-clash", []string{"-metrics", "localhost:0", "-pprof", "localhost:0"}, "distinct addresses"},
+		{"bad-approach", []string{"-approach", "BOGUS"}, "-approach must be"},
+		{"bad-duration", []string{"-duration", "0"}, "-duration must be positive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, stderr, err := run(t, bin, tc.args...)
+			if err == nil {
+				t.Fatalf("massf %v succeeded, want validation error", tc.args)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Errorf("stderr missing %q:\n%s", tc.want, stderr)
+			}
+		})
+	}
+}
+
+// TestCLIMassfTrafficMatrix: -matrix-out writes the run's traffic matrix
+// snapshot as JSON, deterministically, and the summary line reports the
+// traffic plane.
+func TestCLIMassfTrafficMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	bin := buildTool(t, "massf")
+	dir := t.TempDir()
+	matrixOf := func(name string) ([]byte, string) {
+		path := filepath.Join(dir, name)
+		stdout, stderr, err := run(t, bin, "-topology", "Campus", "-app", "GridNPB",
+			"-duration", "5", "-approach", "TOP", "-sequential", "-matrix-out", path)
+		if err != nil {
+			t.Fatalf("massf -matrix-out failed: %v\n%s", err, stderr)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data, stdout
+	}
+	m1, stdout := matrixOf("a.json")
+	m2, _ := matrixOf("b.json")
+	if string(m1) != string(m2) {
+		t.Error("identical runs produced different traffic matrices")
+	}
+	for _, want := range []string{`"matrixBytes"`, `"crossEngineBytes"`, `"timeline"`} {
+		if !strings.Contains(string(m1), want) {
+			t.Errorf("matrix JSON missing %s:\n%.300s", want, m1)
+		}
+	}
+	if !strings.Contains(stdout, "cross-engine") {
+		t.Errorf("run summary missing traffic line:\n%s", stdout)
+	}
+	// -approach all suffixes per approach.
+	path := filepath.Join(dir, "all.json")
+	if _, stderr, err := run(t, bin, "-topology", "Campus", "-app", "GridNPB",
+		"-duration", "5", "-approach", "all", "-sequential", "-matrix-out", path); err != nil {
+		t.Fatalf("massf -approach all -matrix-out failed: %v\n%s", err, stderr)
+	}
+	for _, a := range []string{"TOP", "PLACE", "PROFILE"} {
+		if _, err := os.Stat(path + "." + a); err != nil {
+			t.Errorf("missing per-approach matrix %s.%s: %v", path, a, err)
+		}
+	}
+}
+
 func TestCLINetflow(t *testing.T) {
 	if testing.Short() {
 		t.Skip("builds binaries")

@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 | table2 | baselines")
+		exp      = flag.String("exp", "all", "all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 | table2 | baselines | traffic")
 		duration = flag.Float64("duration", 120, "virtual duration per emulation (seconds)")
 		full     = flag.Bool("full", false, "use the paper's durations (ScaLapack 600s, GridNPB 900s)")
 		seed     = flag.Int64("seed", 42, "experiment seed")
@@ -92,6 +92,18 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(f.Render())
+	case "traffic":
+		s, err := experiments.RunSuite("GridNPB", cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.FigCrossTraffic(s))
+		fmt.Println()
+		tl, err := experiments.FigTrafficTimeline(s, "Campus")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(tl)
 	case "table2":
 		rows, err := experiments.Table2(cfg)
 		if err != nil {

@@ -26,10 +26,16 @@
 // FILE writes the deterministic JSONL kernel trace (suffixed .<approach> when
 // -approach all), and -pprof ADDR serves /debug/pprof and /debug/vars for
 // live profiling. Ctrl-C cancels the run at the next window barrier.
+//
+// Traffic telemetry: -metrics ADDR serves the Prometheus-style /metrics
+// exposition and the live /trafficmatrix JSON (plus pprof and expvar) while
+// runs are in flight, and -matrix-out FILE writes each run's final traffic
+// matrix snapshot as JSON (suffixed .<approach> when -approach all).
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -43,6 +49,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netdesc"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -77,10 +84,31 @@ func main() {
 		stats     = flag.Bool("stats", false, "print the kernel's aggregated observability counters per run")
 		tracePath = flag.String("trace", "", "write the deterministic JSONL kernel trace to this file (.<approach> suffix with -approach all)")
 		pprofAddr = flag.String("pprof", "", "serve /debug/pprof and /debug/vars on this address (e.g. localhost:6060)")
+
+		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics and live /trafficmatrix (plus pprof and expvar) on this address")
+		matrixOut   = flag.String("matrix-out", "", "write each run's final traffic matrix JSON to this file (.<approach> suffix with -approach all)")
 	)
 	var faultSpecs multiFlag
 	flag.Var(&faultSpecs, "fault", "fault spec (crash:E@T | slow:E@T1-T2xF | degrade@T1-T2xF); repeatable")
 	flag.Parse()
+
+	if err := validateFlags(cliFlags{
+		netfile:     *netfile,
+		engines:     *engines,
+		export:      *export,
+		topostats:   *topostats,
+		approach:    *approach,
+		duration:    *duration,
+		record:      *record,
+		replay:      *replay,
+		tracePath:   *tracePath,
+		stats:       *stats,
+		pprofAddr:   *pprofAddr,
+		metricsAddr: *metricsAddr,
+		matrixOut:   *matrixOut,
+	}); err != nil {
+		fatal(err)
+	}
 
 	cfg := experiments.Config{Duration: *duration, Seed: *seed, Sequential: *seq}
 	sc, err := experiments.ScenarioFor(cfg, *topology, *app)
@@ -96,9 +124,6 @@ func main() {
 		f.Close()
 		if err != nil {
 			fatal(err)
-		}
-		if *engines <= 0 {
-			fatal(fmt.Errorf("-netfile requires -engines"))
 		}
 		sc.Network = nw
 		sc.Engines = *engines
@@ -188,6 +213,21 @@ func main() {
 		live = obs.NewRunStats()
 		obs.Publish("massf", live)
 	}
+	var tel *telemetry.Collector
+	if *metricsAddr != "" || *matrixOut != "" {
+		// One shared collector across runs: the endpoints always show the
+		// current (or most recent) run's traffic plane.
+		tel = telemetry.New()
+		sc.TelemetryCollector = tel
+	}
+	if *metricsAddr != "" {
+		srv, base, err := obs.ServeDebug(*metricsAddr, telemetry.Mount(tel))
+		if err != nil {
+			fatal(err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry endpoint: %s/metrics and %s/trafficmatrix\n", base, base)
+	}
 
 	fmt.Printf("%-8s %10s %12s %12s %10s %9s %10s %9s\n",
 		"approach", "imbalance", "app-time(s)", "net-time(s)", "lookahead", "windows", "remote-ev", "wall")
@@ -252,6 +292,32 @@ func main() {
 			fmt.Printf("         imbalance pre-failure %.3f -> post-recovery %.3f (surviving engines)\n",
 				rec.PreFailureImbalance, rec.PostRecoveryImbalance)
 		}
+		if ts := r.Telemetry; ts != nil {
+			if *matrixOut != "" {
+				path := *matrixOut
+				if len(approaches) > 1 {
+					path += "." + string(a)
+				}
+				f, err := os.Create(path)
+				if err != nil {
+					fatal(err)
+				}
+				if err := telemetry.WriteMatrixJSON(f, ts); err != nil {
+					f.Close()
+					fatal(fmt.Errorf("%s: writing traffic matrix: %w", a, err))
+				}
+				if err := f.Close(); err != nil {
+					fatal(err)
+				}
+				fmt.Fprintf(os.Stderr, "wrote %s traffic matrix to %s\n", a, path)
+			}
+			crossPct := 0.0
+			if ts.TotalBytes > 0 {
+				crossPct = 100 * float64(ts.CrossEngineBytes) / float64(ts.TotalBytes)
+			}
+			fmt.Printf("         traffic: %.1f MB total, %.1f%% cross-engine, queue-delay p99 %.3gms, fct p99 %.3gs\n",
+				float64(ts.TotalBytes)/1e6, crossPct, ts.QueueDelayP99*1e3, ts.FCTP99)
+		}
 		if *verbose {
 			fmt.Printf("         engine loads: %v (max/mean %.2f)\n",
 				r.EngineLoads, metrics.MaxOverMean(r.EngineLoads))
@@ -262,6 +328,83 @@ func main() {
 			fmt.Printf("         %s", q.String())
 		}
 	}
+}
+
+// cliFlags is the subset of flag state the combination checks inspect.
+type cliFlags struct {
+	netfile, export        string
+	engines                int
+	topostats              bool
+	approach               string
+	duration               float64
+	record, replay         string
+	tracePath              string
+	stats                  bool
+	pprofAddr              string
+	metricsAddr, matrixOut string
+}
+
+// Flag-combination errors — typed so callers (and tests) can match them with
+// errors.Is instead of scraping message text.
+var (
+	errNetfileNeedsEngines = errors.New("-netfile requires -engines")
+	errEnginesNeedNetfile  = errors.New("-engines only applies together with -netfile")
+	errRecordReplay        = errors.New("-record with -replay would only copy the input trace")
+	errNoRun               = errors.New("needs an emulation run, but -export/-topostats exit before one")
+	errAddrClash           = errors.New("-metrics and -pprof need distinct addresses (the -metrics server already includes pprof and expvar)")
+	errBadApproach         = errors.New("-approach must be TOP, PLACE, PROFILE, or all")
+	errBadDuration         = errors.New("-duration must be positive")
+)
+
+// validateFlags rejects contradictory flag combinations up front, before any
+// topology or traffic generation runs.
+func validateFlags(f cliFlags) error {
+	if f.duration <= 0 {
+		return fmt.Errorf("%w (got %g)", errBadDuration, f.duration)
+	}
+	if f.approach != "all" {
+		valid := false
+		for _, a := range mapping.Approaches() {
+			if string(a) == f.approach {
+				valid = true
+			}
+		}
+		if !valid {
+			return fmt.Errorf("%w (got %q)", errBadApproach, f.approach)
+		}
+	}
+	if f.netfile != "" && f.engines <= 0 {
+		return errNetfileNeedsEngines
+	}
+	if f.netfile == "" && f.engines != 0 {
+		return errEnginesNeedNetfile
+	}
+	if f.record != "" && f.replay != "" {
+		return errRecordReplay
+	}
+	if f.export != "" || f.topostats {
+		runFlags := []struct {
+			name string
+			set  bool
+		}{
+			{"-record", f.record != ""},
+			{"-replay", f.replay != ""},
+			{"-trace", f.tracePath != ""},
+			{"-stats", f.stats},
+			{"-pprof", f.pprofAddr != ""},
+			{"-metrics", f.metricsAddr != ""},
+			{"-matrix-out", f.matrixOut != ""},
+		}
+		for _, rf := range runFlags {
+			if rf.set {
+				return fmt.Errorf("%s %w", rf.name, errNoRun)
+			}
+		}
+	}
+	if f.metricsAddr != "" && f.metricsAddr == f.pprofAddr {
+		return errAddrClash
+	}
+	return nil
 }
 
 func fatal(err error) {

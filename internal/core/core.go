@@ -21,6 +21,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/parallel"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -86,6 +87,24 @@ type Scenario struct {
 	// CollectStats attaches an aggregated obs.RunStats to each emulation
 	// result (Result.Obs) without requiring an external recorder.
 	CollectStats bool
+	// CollectTelemetry attaches a fresh traffic-plane telemetry collector
+	// (internal/telemetry) to each emulation, surfacing the engine traffic
+	// matrix, link totals, latency histograms and per-window timeline on
+	// Result.Telemetry. Each emulation gets its own collector, so approaches
+	// may still run concurrently.
+	CollectTelemetry bool
+	// TelemetryCollector, when non-nil, is the single live collector every
+	// emulation feeds — the one a debug endpoint mounts (telemetry.Mount).
+	// It implies CollectTelemetry; because the collector is re-sized per run,
+	// RunAll serializes approaches when it is set (like Recorder) and the
+	// live view always shows the most recent emulation.
+	TelemetryCollector *telemetry.Collector
+	// NetFlowRemap makes RunDynamic repartition intervals from the NetFlow
+	// side-channel dump (the paper's offline §3.3 pipeline) instead of the
+	// default measured-telemetry feedback. The two produce identical
+	// partitions (regression-tested); the knob exists to A/B them and to run
+	// without the telemetry plane.
+	NetFlowRemap bool
 
 	routes   netgraph.Routing
 	workload *traffic.Workload
@@ -104,6 +123,10 @@ type Outcome struct {
 // Obs returns the main run's aggregated observability summary, or nil when
 // the scenario collected none (see Scenario.CollectStats / Recorder).
 func (o *Outcome) Obs() *obs.RunStats { return o.Result.Obs }
+
+// Telemetry returns the main run's final traffic-plane snapshot, or nil when
+// the scenario collected none (see Scenario.CollectTelemetry).
+func (o *Outcome) Telemetry() *telemetry.Snapshot { return o.Result.Telemetry }
 
 // Routes returns (building once) the scenario's routing — flat shortest
 // paths by default, two-level per-AS tables when HierarchicalRouting is set.
@@ -283,7 +306,10 @@ func (sc *Scenario) RunAll(ctx context.Context) ([]*Outcome, error) {
 
 	as := mapping.Approaches()
 	workers := 0
-	if sc.Recorder != nil {
+	if sc.Recorder != nil || sc.TelemetryCollector != nil {
+		// A shared trace must keep record order deterministic; a shared live
+		// telemetry collector is re-sized per run and can only feed one
+		// emulation at a time.
 		workers = 1
 	}
 	out := make([]*Outcome, len(as))
@@ -344,11 +370,28 @@ func (sc *Scenario) runOptions(ctx context.Context) []emu.Option {
 	return opts
 }
 
+// newTelemetry resolves the collector for one emulation: the scenario's
+// shared live collector when set, a fresh one per run under
+// CollectTelemetry, nil otherwise.
+func (sc *Scenario) newTelemetry() *telemetry.Collector {
+	if sc.TelemetryCollector != nil {
+		return sc.TelemetryCollector
+	}
+	if sc.CollectTelemetry {
+		return telemetry.New()
+	}
+	return nil
+}
+
 // emulate runs the emulator on an assignment.
 func (sc *Scenario) emulate(ctx context.Context, assignment []int, profile bool) (*emu.Result, error) {
 	w, err := sc.Workload()
 	if err != nil {
 		return nil, err
+	}
+	opts := sc.runOptions(ctx)
+	if tel := sc.newTelemetry(); tel != nil {
+		opts = append(opts, emu.WithTelemetry(tel))
 	}
 	return emu.Run(emu.Config{
 		Network:      sc.Network,
@@ -362,5 +405,5 @@ func (sc *Scenario) emulate(ctx context.Context, assignment []int, profile bool)
 		Transport:    sc.Transport,
 		EngineSpeeds: sc.EngineSpeeds,
 		Sequential:   sc.Sequential,
-	}, sc.runOptions(ctx)...)
+	}, opts...)
 }

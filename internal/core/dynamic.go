@@ -8,6 +8,8 @@ import (
 	"repro/internal/emu"
 	"repro/internal/mapping"
 	"repro/internal/metrics"
+	"repro/internal/netflow"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -18,13 +20,21 @@ import (
 // emulators like MaSSF."
 //
 // This prototype divides the emulation into fixed intervals. The first
-// interval runs under the TOP partition with NetFlow profiling; every
-// subsequent interval is repartitioned from the previous interval's profile
-// and charged a migration cost per virtual node that changes engines (state
-// transfer over the cluster network). Flows are emulated within the interval
-// they start in — transfers spanning a boundary restart their queueing state,
-// an approximation this prototype accepts and the real MaSSF would have to
+// interval runs under the TOP partition; every subsequent interval is
+// repartitioned from the previous interval's measured traffic and charged a
+// migration cost per virtual node that changes engines (state transfer over
+// the cluster network). Flows are emulated within the interval they start in
+// — transfers spanning a boundary restart their queueing state, an
+// approximation this prototype accepts and the real MaSSF would have to
 // engineer away.
+//
+// The remapping signal is, by default, the live telemetry plane: the
+// collector threaded through the emulator converts its measured per-node /
+// per-link traffic into the PROFILE form (telemetry.Collector.ToProfile), so
+// the loop is closed without the NetFlow dump side-channel. Scenario.
+// NetFlowRemap switches back to the §3.3 offline pipeline; the two feeds
+// produce identical interval partitions (regression-tested), because both
+// observe the identical packet stream at the identical hot-path site.
 
 // DynamicSegment reports one remapping interval.
 type DynamicSegment struct {
@@ -37,6 +47,16 @@ type DynamicSegment struct {
 	Migrations int
 	// Flows is the number of flows injected during this interval.
 	Flows int
+	// Assignment is the node→engine assignment the interval ran under.
+	Assignment []int
+	// CrossEngineBytes is the interval's engine-to-engine traffic volume
+	// (zero when the run had no telemetry plane, i.e. NetFlowRemap without
+	// CollectTelemetry).
+	CrossEngineBytes int64
+	// Timeline is the interval's per-measurement-window imbalance and
+	// cross-engine-traffic history (times relative to the interval start);
+	// nil without a telemetry plane.
+	Timeline []telemetry.TrafficPoint
 }
 
 // DynamicResult reports a dynamically remapped emulation.
@@ -54,6 +74,23 @@ type DynamicResult struct {
 	NetTime float64
 	// Migrations is the total node-engine changes.
 	Migrations int
+	// CrossEngineBytes totals the engine-to-engine traffic over all
+	// intervals (zero without a telemetry plane).
+	CrossEngineBytes int64
+}
+
+// Timeline concatenates the segments' per-window traffic histories into one
+// absolute-time curve — the per-window imbalance / cross-engine-traffic
+// timeline the experiment reports render.
+func (r *DynamicResult) Timeline() []telemetry.TrafficPoint {
+	var out []telemetry.TrafficPoint
+	for _, s := range r.Segments {
+		for _, p := range s.Timeline {
+			p.Time += s.Start
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // DefaultMigrationCost is the modeled stall per migrated node: shipping a
@@ -89,6 +126,14 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 		return nil, fmt.Errorf("core: dynamic initial partition: %w", err)
 	}
 
+	// The remap feed: measured telemetry by default, the NetFlow side-channel
+	// under NetFlowRemap. One collector serves all segments (re-sized per
+	// segment), so a live mount watches the current interval.
+	tel := sc.newTelemetry()
+	if tel == nil && !sc.NetFlowRemap {
+		tel = telemetry.New()
+	}
+
 	res := &DynamicResult{}
 	engineTotals := make([]float64, sc.Engines)
 	incomingMigrations := 0
@@ -103,6 +148,10 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 		if math.IsInf(end, 1) {
 			seg.Duration = duration - start
 		}
+		opts := sc.runOptions(ctx)
+		if tel != nil {
+			opts = append(opts, emu.WithTelemetry(tel))
+		}
 		segResult, err := emu.Run(emu.Config{
 			Network:    sc.Network,
 			Routes:     sc.Routes(),
@@ -110,19 +159,26 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 			NumEngines: sc.Engines,
 			Workload:   seg,
 			Cost:       sc.Cost,
-			Profile:    true,
+			Profile:    sc.NetFlowRemap,
 			Transport:  sc.Transport,
 			Sequential: sc.Sequential,
-		}, sc.runOptions(ctx)...)
+		}, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("core: dynamic segment at %gs: %w", start, err)
 		}
-		res.Segments = append(res.Segments, DynamicSegment{
+		segOut := DynamicSegment{
 			Start:      start,
 			Imbalance:  segResult.Imbalance,
 			Migrations: incomingMigrations,
 			Flows:      len(seg.Flows),
-		})
+			Assignment: append([]int(nil), assignment...),
+		}
+		if segResult.Telemetry != nil {
+			segOut.CrossEngineBytes = segResult.Telemetry.CrossEngineBytes
+			segOut.Timeline = segResult.Telemetry.Timeline
+			res.CrossEngineBytes += segResult.Telemetry.CrossEngineBytes
+		}
+		res.Segments = append(res.Segments, segOut)
 		res.AppTime += segResult.AppTime + float64(incomingMigrations)*migrationCost
 		res.NetTime += segResult.NetTime
 		res.Migrations += incomingMigrations
@@ -130,13 +186,13 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 			engineTotals[e] += l
 		}
 
-		// Remap for the next interval from this interval's profile — from
-		// scratch, or by refining the current assignment (fewer
+		// Remap for the next interval from this interval's measured traffic
+		// — from scratch, or by refining the current assignment (fewer
 		// migrations) when IncrementalRemap is set.
 		incomingMigrations = 0
 		if end < duration && len(seg.Flows) > 0 {
 			in := sc.mappingInput()
-			in.Summary = segResult.NetFlow.Summarize()
+			in.Summary = sc.segProfile(tel, segResult)
 			if sc.IncrementalRemap {
 				next, moved, err := mapping.ProfileImprove(in, assignment)
 				if err != nil {
@@ -172,6 +228,17 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 		res.MeanSegmentImbalance = sum / float64(active)
 	}
 	return res, nil
+}
+
+// segProfile picks the interval's remap feed: the NetFlow dump under
+// NetFlowRemap, the telemetry plane's measured traffic otherwise. The two are
+// numerically identical (see emu's TestTelemetryMatchesNetFlowProfile), so
+// flipping the knob never changes the produced partitions.
+func (sc *Scenario) segProfile(tel *telemetry.Collector, segResult *emu.Result) *netflow.Summary {
+	if sc.NetFlowRemap {
+		return segResult.NetFlow.Summarize()
+	}
+	return tel.ToProfile()
 }
 
 // sliceWorkload keeps the flows starting in [start, end), rebased so the

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"repro/internal/apps"
@@ -105,6 +106,57 @@ func TestRunDynamicBeatsStaticPerSegment(t *testing.T) {
 	if dyn.MeanSegmentImbalance > staticMean*1.25 {
 		t.Errorf("dynamic per-segment imbalance %.3f much worse than static %.3f",
 			dyn.MeanSegmentImbalance, staticMean)
+	}
+}
+
+// TestRunDynamicTelemetryFeedMatchesNetFlow is the closed-loop acceptance
+// criterion: repartitioning from the live telemetry plane (the default) must
+// produce exactly the interval partitions the offline NetFlow-profile pipeline
+// produces, because both feeds measure the identical packet stream.
+func TestRunDynamicTelemetryFeedMatchesNetFlow(t *testing.T) {
+	telFed, err := dynamicScenario().RunDynamic(context.Background(), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := dynamicScenario()
+	nf.NetFlowRemap = true
+	nfFed, err := nf.RunDynamic(context.Background(), 10, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(telFed.Segments) != len(nfFed.Segments) {
+		t.Fatalf("segment counts differ: %d vs %d", len(telFed.Segments), len(nfFed.Segments))
+	}
+	for i := range telFed.Segments {
+		if !reflect.DeepEqual(telFed.Segments[i].Assignment, nfFed.Segments[i].Assignment) {
+			t.Errorf("segment %d partitions diverge:\n tel %v\n nf  %v",
+				i, telFed.Segments[i].Assignment, nfFed.Segments[i].Assignment)
+		}
+	}
+	if telFed.Migrations != nfFed.Migrations {
+		t.Errorf("migrations differ: tel %d, netflow %d", telFed.Migrations, nfFed.Migrations)
+	}
+	// The telemetry-fed run also carries the traffic-plane extras.
+	if telFed.CrossEngineBytes == 0 {
+		t.Error("telemetry-fed run reports no cross-engine bytes")
+	}
+	if len(telFed.Timeline()) == 0 {
+		t.Error("telemetry-fed run has an empty traffic timeline")
+	}
+	// Each segment's windows are strictly increasing in time. (Adjacent
+	// segments may overlap in absolute time: flows drain past the interval
+	// boundary, so a segment's measurement can extend beyond its nominal end.)
+	for _, s := range telFed.Segments {
+		for i := 1; i < len(s.Timeline); i++ {
+			if s.Timeline[i].Time <= s.Timeline[i-1].Time {
+				t.Fatalf("segment at %g: timeline not strictly increasing at %d: %v",
+					s.Start, i, s.Timeline[i])
+			}
+		}
+	}
+	// The NetFlow-fed run, without a telemetry plane, leaves the extras zero.
+	if nfFed.CrossEngineBytes != 0 || len(nfFed.Timeline()) != 0 {
+		t.Error("NetFlowRemap run unexpectedly carries telemetry data")
 	}
 }
 

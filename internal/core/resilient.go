@@ -115,6 +115,10 @@ func (sc *Scenario) RunResilient(ctx context.Context, opts FaultOptions) (*Resil
 		return next, err
 	}
 
+	runOpts := sc.runOptions(ctx)
+	if tel := sc.newTelemetry(); tel != nil {
+		runOpts = append(runOpts, emu.WithTelemetry(tel))
+	}
 	res, err := emu.Run(emu.Config{
 		Network:         sc.Network,
 		Routes:          sc.Routes(),
@@ -130,7 +134,7 @@ func (sc *Scenario) RunResilient(ctx context.Context, opts FaultOptions) (*Resil
 		CheckpointEvery: opts.CheckpointEvery,
 		MigrationCost:   opts.MigrationCost,
 		OnCrash:         onCrash,
-	}, sc.runOptions(ctx)...)
+	}, runOpts...)
 	if err != nil {
 		return nil, fmt.Errorf("core: resilient %s on %s: %w", approach, sc.Name, err)
 	}

@@ -37,6 +37,7 @@ import (
 	"repro/internal/netflow"
 	"repro/internal/netgraph"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -195,6 +196,10 @@ type Result struct {
 	// lifecycle counts. nil unless the run was given WithStats or
 	// WithRecorder.
 	Obs *obs.RunStats
+	// Telemetry is the final traffic-plane snapshot — engine traffic
+	// matrix, link totals, queue-delay/FCT histograms and the per-window
+	// timeline. nil unless the run was given WithTelemetry.
+	Telemetry *telemetry.Snapshot
 }
 
 // FCTStats summarizes the completed flows' completion times: count, mean,
@@ -342,6 +347,18 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	if cfg.Profile {
 		collector = netflow.NewCollector(nw.NumNodes(), duration, cfg.BucketWidth)
 	}
+	if o.tel != nil {
+		// Size the traffic-plane collector to this run; its series shares the
+		// NetFlow bucketing so ToProfile is numerically interchangeable with
+		// a Summarize of the side-channel.
+		o.tel.Reset(telemetry.Dims{
+			Engines:     cfg.NumEngines,
+			Nodes:       nw.NumNodes(),
+			Links:       len(nw.Links),
+			Duration:    duration,
+			BucketWidth: cfg.BucketWidth,
+		})
+	}
 
 	buckets := int(duration/cfg.BucketWidth) + 1
 	engineSeries := metrics.NewSeries(cfg.BucketWidth, cfg.NumEngines, buckets)
@@ -379,6 +396,7 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		delivered:       delivered,
 		fcts:            fcts,
 		collector:       collector,
+		tel:             o.tel,
 		series:          engineSeries,
 		cost:            cost,
 		speeds:          speeds,
@@ -433,6 +451,7 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	e.tel.Finish(stats.VirtualEnd)
 
 	var appTime, netTime float64
 	for b := 0; b < buckets; b++ {
@@ -472,6 +491,10 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		linkTotals[l] = e.linkBytes[l][0] + e.linkBytes[l][1]
 		dropped += e.drops[l][0] + e.drops[l][1]
 	}
+	var telSnap *telemetry.Snapshot
+	if e.tel != nil {
+		telSnap = e.tel.Snapshot()
+	}
 	return &Result{
 		Kernel:          stats,
 		Lookahead:       lookahead,
@@ -489,6 +512,7 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		FinalAssignment: append([]int(nil), e.assignment...),
 		Recovery:        recovery,
 		Obs:             runStats,
+		Telemetry:       telSnap,
 	}, nil
 }
 
@@ -557,6 +581,7 @@ type emulation struct {
 	delivered  []int64
 	fcts       []float64
 	collector  *netflow.Collector
+	tel        *telemetry.Collector
 	series     *metrics.Series
 
 	// Time-model accumulators, filled by the per-window observer.
@@ -606,6 +631,9 @@ func (e *emulation) observe(start, end float64, charges, remote []int64) {
 	}
 	e.bucketSync[b] += e.cost.PerWindow
 	e.bucketBusyWidth[b] += end - start
+	// Engines are quiesced at the barrier, so the telemetry collector can
+	// fold the window and republish its live snapshot here.
+	e.tel.Commit(start, end, charges)
 }
 
 // handle processes one DES event on engine lp.
@@ -654,11 +682,28 @@ func (e *emulation) arrive(t float64, c chunkArrival, s *des.Scheduler) {
 		}
 		e.collector.Observe(node, f.id, f.src, f.dst, inLink, c.packets, c.bytes, t)
 	}
+	if e.tel != nil {
+		// Receive-side accounting, at the same site and granularity as the
+		// NetFlow side-channel so ToProfile matches a Summarize exactly. The
+		// rx slot (inLink, inDir) is owned by this node's engine: direction 0
+		// always delivers to the link's B endpoint, direction 1 to A.
+		inLink, inDir := -1, 0
+		if c.hop > 0 {
+			inLink = f.links[c.hop-1]
+			if e.nw.Links[inLink].B == f.path[c.hop-1] {
+				inDir = 1
+			}
+		}
+		e.tel.ObserveNode(node, inLink, inDir, c.packets, t)
+	}
 	if c.hop == len(f.path)-1 {
 		// Delivered: track the flow's completion at the destination.
 		e.delivered[f.idx] += c.bytes
 		if e.delivered[f.idx] >= f.bytes && e.fcts[f.idx] < 0 {
 			e.fcts[f.idx] = t - f.start
+			if e.tel != nil {
+				e.tel.ObserveFlowComplete(e.assignment[node], e.fcts[f.idx])
+			}
 		}
 		return
 	}
@@ -677,17 +722,27 @@ func (e *emulation) arrive(t float64, c chunkArrival, s *des.Scheduler) {
 			backlog := (bu - t) * link.Bandwidth / 8
 			if backlog > float64(e.cfg.BufferBytes) {
 				e.drops[lid][dir] += c.packets
+				if e.tel != nil {
+					e.tel.ObserveDrop(e.assignment[node], c.packets)
+				}
 				return
 			}
 		}
 		depart = bu
 	}
+	wait := depart - t
 	depart += float64(c.bytes*8) / link.Bandwidth
 	e.busyUntil[lid][dir] = depart
 	e.linkBytes[lid][dir] += c.bytes
 	arrival := depart + link.Latency
 
 	next := f.path[c.hop+1]
+	if e.tel != nil {
+		// Transmit-side accounting: the engine owning this node writes its
+		// own matrix row and this (link, dir)'s tx slots.
+		e.tel.ObserveForward(e.assignment[node], e.assignment[next], lid, dir,
+			c.bytes, c.packets, wait)
+	}
 	c.hop++
 	s.Schedule(e.assignment[next], arrival, c)
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // Option configures a Run beyond the base Config — the growth path for new
@@ -16,6 +17,7 @@ type runOptions struct {
 	recorders []obs.Recorder
 	stats     bool
 	cost      *CostModel
+	tel       *telemetry.Collector
 }
 
 func (o *runOptions) apply(opts []Option) {
@@ -60,6 +62,17 @@ func WithStats() Option {
 // PentiumIICluster).
 func WithCostModel(c CostModel) Option {
 	return func(o *runOptions) { o.cost = &c }
+}
+
+// WithTelemetry attaches a traffic-plane telemetry collector (see
+// internal/telemetry) to the run. The emulator sizes it for the run's
+// topology, feeds it from the packet hot path and the window observer, and
+// publishes consistent snapshots at every window barrier; Result.Telemetry
+// carries the final snapshot. The collector may be shared with a live HTTP
+// mount (telemetry.Mount) for the duration of the run. A nil collector is
+// ignored — the hot path then stays on its zero-allocation disabled branch.
+func WithTelemetry(c *telemetry.Collector) Option {
+	return func(o *runOptions) { o.tel = c }
 }
 
 // WithContext threads a cancellation context through the run. Cancellation

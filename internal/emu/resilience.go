@@ -8,6 +8,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/netflow"
 	"repro/internal/obs"
+	"repro/internal/telemetry"
 )
 
 // DefaultCheckpointEvery is the default virtual-time interval between
@@ -85,6 +86,7 @@ type checkpointState struct {
 	bucketBusyWidth []float64
 	series          *metrics.Series
 	collector       *netflow.Collector
+	tel             *telemetry.Checkpoint
 }
 
 // snapshot captures the emulation state alongside a kernel checkpoint.
@@ -101,6 +103,7 @@ func (e *emulation) snapshot(cp *des.Checkpoint) *checkpointState {
 		bucketBusyWidth: append([]float64(nil), e.bucketBusyWidth...),
 		series:          e.series.Clone(),
 		collector:       e.collector.Clone(),
+		tel:             e.tel.Checkpoint(),
 	}
 	s.bucketCost = make([][]float64, len(e.bucketCost))
 	for b, row := range e.bucketCost {
@@ -126,6 +129,7 @@ func (e *emulation) restore(s *checkpointState) {
 	}
 	e.series = s.series.Clone()
 	e.collector = s.collector.Clone()
+	e.tel.Restore(s.tel)
 }
 
 // recordEvent forwards a recovery lifecycle event to the run's recorder, if

@@ -24,6 +24,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/parallel"
+	"repro/internal/telemetry"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
 )
@@ -130,6 +131,10 @@ func (c Config) scenario(topology, app string) (*core.Scenario, error) {
 		// The report's kernel-observability section reads each run's
 		// aggregated counters from Result.Obs.
 		CollectStats: true,
+		// The traffic-plane section reads each run's measured traffic matrix
+		// and per-window timeline from Result.Telemetry. Fresh per-run
+		// collectors, so the suite's cell fan-out stays parallel.
+		CollectTelemetry: true,
 	}
 	switch app {
 	case "ScaLapack":
@@ -169,6 +174,22 @@ type Cell struct {
 	// BarrierWait is the total wall-clock time engines spent waiting at
 	// window barriers (parallel kernel only; ~0 when Sequential).
 	BarrierWait float64
+
+	// Traffic-plane telemetry (from the run's telemetry.Snapshot).
+	// CrossEngineBytes is the volume carried between distinct engines — the
+	// quantity the PLACE/PROFILE mappings minimize alongside imbalance.
+	CrossEngineBytes int64
+	// TotalBytes is the total transmitted volume, the denominator for the
+	// cross-engine fraction.
+	TotalBytes int64
+}
+
+// CrossFraction is the share of transmitted bytes that crossed engines.
+func (c Cell) CrossFraction() float64 {
+	if c.TotalBytes == 0 {
+		return 0
+	}
+	return float64(c.CrossEngineBytes) / float64(c.TotalBytes)
 }
 
 // Suite is the full 3-topology × 3-approach grid for one application —
@@ -178,6 +199,9 @@ type Suite struct {
 	Cells []Cell
 	// EngineSeries keeps each run's bucketed engine loads for Figure 8.
 	EngineSeries map[string]*metrics.Series // key: topology + "/" + approach
+	// Timelines keeps each run's per-measurement-window imbalance /
+	// cross-engine-traffic history from the telemetry plane (same keying).
+	Timelines map[string][]telemetry.TrafficPoint
 }
 
 // RunSuite executes one application across the three Table 1 topologies and
@@ -208,7 +232,11 @@ func RunSuite(app string, cfg Config) (*Suite, error) {
 	if err != nil {
 		return nil, err
 	}
-	suite := &Suite{App: app, EngineSeries: make(map[string]*metrics.Series)}
+	suite := &Suite{
+		App:          app,
+		EngineSeries: make(map[string]*metrics.Series),
+		Timelines:    make(map[string][]telemetry.TrafficPoint),
+	}
 	for i, spec := range specs {
 		for _, o := range cellOuts[i] {
 			cell := Cell{
@@ -231,8 +259,14 @@ func RunSuite(app string, cfg Config) (*Suite, error) {
 				}
 				cell.BarrierWait = st.TotalBarrierWait()
 			}
+			key := spec.Name + "/" + string(o.Approach)
+			if ts := o.Telemetry(); ts != nil {
+				cell.CrossEngineBytes = ts.CrossEngineBytes
+				cell.TotalBytes = ts.TotalBytes
+				suite.Timelines[key] = ts.Timeline
+			}
 			suite.Cells = append(suite.Cells, cell)
-			suite.EngineSeries[spec.Name+"/"+string(o.Approach)] = o.Result.EngineSeries
+			suite.EngineSeries[key] = o.Result.EngineSeries
 		}
 	}
 	return suite, nil
@@ -306,6 +340,13 @@ func FigNetTime(s *Suite) string {
 	return renderGrid(s, "Isolated Network Emulation Time (s)", func(c Cell) float64 { return c.NetTime }, "%.1f")
 }
 
+// FigCrossTraffic renders the telemetry plane's cross-engine traffic share
+// per topology and approach — the cut quality the mapping strategies trade
+// against balance (beyond the paper's figures; measured, not modeled).
+func FigCrossTraffic(s *Suite) string {
+	return renderGrid(s, "Cross-Engine Traffic (fraction of bytes)", func(c Cell) float64 { return c.CrossFraction() }, "%.3f")
+}
+
 func renderGrid(s *Suite, title string, val func(Cell) float64, format string) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "%s — %s\n", title, s.App)
@@ -377,6 +418,47 @@ func (f *Fig8Result) Render() string {
 	fmt.Fprintf(&b, "%8s %10.3f %10.3f  (mean over active buckets)\n", "mean",
 		meanActive(f.Top), meanActive(f.Profile))
 	return b.String()
+}
+
+// FigTrafficTimeline renders the per-window traffic-plane history of one
+// topology's runs under TOP and PROFILE side by side: measured load imbalance
+// and cross-engine bytes per measurement window. This is the live-telemetry
+// analogue of Figure 8 — it shows *why* PROFILE wins (smaller imbalance at
+// comparable or lower cross-engine volume), window by window.
+func FigTrafficTimeline(s *Suite, topology string) (string, error) {
+	top, ok := s.Timelines[topology+"/TOP"]
+	if !ok {
+		return "", fmt.Errorf("experiments: suite has no %s/TOP timeline", topology)
+	}
+	prof, ok := s.Timelines[topology+"/PROFILE"]
+	if !ok {
+		return "", fmt.Errorf("experiments: suite has no %s/PROFILE timeline", topology)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Traffic-plane timeline (%s on %s, per measurement window)\n", s.App, topology)
+	fmt.Fprintf(&b, "%8s %12s %14s %12s %14s\n", "t(s)", "TOP imbal", "TOP xMB", "PROF imbal", "PROF xMB")
+	n := len(top)
+	if len(prof) > n {
+		n = len(prof)
+	}
+	step := n/15 + 1
+	for i := 0; i < n; i += step {
+		var tt, pt telemetry.TrafficPoint
+		if i < len(top) {
+			tt = top[i]
+		}
+		if i < len(prof) {
+			pt = prof[i]
+		}
+		t := tt.Time
+		if t == 0 {
+			t = pt.Time
+		}
+		fmt.Fprintf(&b, "%8.0f %12.3f %14.2f %12.3f %14.2f\n", t,
+			tt.Imbalance, float64(tt.CrossEngineBytes)/1e6,
+			pt.Imbalance, float64(pt.CrossEngineBytes)/1e6)
+	}
+	return b.String(), nil
 }
 
 func meanActive(xs []float64) float64 {

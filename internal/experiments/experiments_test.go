@@ -289,6 +289,7 @@ func TestAllAndMarkdown(t *testing.T) {
 		"Table 1", "Figure 2", "Figure 4", "Figure 5", "Figure 6",
 		"Figure 7", "Figure 8", "Figure 9", "Figure 10", "Table 2",
 		"baseline comparison",
+		"Traffic-plane telemetry", "Cross-Engine Traffic",
 		"TOP", "PLACE", "PROFILE", "KCLUSTER", "HIER",
 	} {
 		if !strings.Contains(md, want) {
@@ -306,6 +307,43 @@ func TestRenderers(t *testing.T) {
 		if !strings.Contains(out, "Campus") || !strings.Contains(out, "PROFILE") {
 			t.Errorf("renderer output incomplete:\n%s", out)
 		}
+	}
+}
+
+// TestSuiteTrafficTelemetry: every suite cell carries the traffic plane's
+// measured volumes and per-window timeline, and the renders include them.
+func TestSuiteTrafficTelemetry(t *testing.T) {
+	sca, npb := suites(t)
+	for _, s := range []*Suite{sca, npb} {
+		for _, c := range s.Cells {
+			if c.TotalBytes <= 0 {
+				t.Errorf("%s/%s/%s: no transmitted bytes measured", s.App, c.Topology, c.Approach)
+			}
+			if c.CrossEngineBytes <= 0 {
+				t.Errorf("%s/%s/%s: no cross-engine bytes measured", s.App, c.Topology, c.Approach)
+			}
+			if f := c.CrossFraction(); f <= 0 || f >= 1 {
+				t.Errorf("%s/%s/%s: cross fraction %.3f outside (0,1)", s.App, c.Topology, c.Approach, f)
+			}
+			key := c.Topology + "/" + string(c.Approach)
+			if len(s.Timelines[key]) == 0 {
+				t.Errorf("%s/%s: no traffic timeline", s.App, key)
+			}
+		}
+	}
+	if out := FigCrossTraffic(sca); !strings.Contains(out, "Cross-Engine Traffic") ||
+		!strings.Contains(out, "Campus") {
+		t.Errorf("FigCrossTraffic incomplete:\n%s", out)
+	}
+	tl, err := FigTrafficTimeline(npb, "Campus")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tl, "PROF imbal") || !strings.Contains(tl, "TOP xMB") {
+		t.Errorf("FigTrafficTimeline incomplete:\n%s", tl)
+	}
+	if _, err := FigTrafficTimeline(&Suite{App: "x"}, "Campus"); err == nil {
+		t.Error("timeline render of an empty suite did not fail")
 	}
 }
 

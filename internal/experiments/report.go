@@ -119,6 +119,16 @@ func (r *Report) Markdown() string {
 	b.WriteString("(zero in sequential runs).\n\n")
 	b.WriteString("```\n" + RenderObservability(r.ScaLapack, r.GridNPB) + "```\n\n")
 
+	b.WriteString("## Traffic-plane telemetry — cross-engine traffic and per-window timeline\n\n")
+	b.WriteString("Measured from the live telemetry plane (the traffic matrix each run publishes at ")
+	b.WriteString("its sync-window barriers): the fraction of transmitted bytes that crossed engines — ")
+	b.WriteString("the cut the PLACE/PROFILE mappings trade against balance — and the per-window ")
+	b.WriteString("imbalance/cross-traffic history for GridNPB on Campus.\n\n")
+	b.WriteString("```\n" + FigCrossTraffic(r.ScaLapack) + "```\n\n```\n" + FigCrossTraffic(r.GridNPB) + "```\n\n")
+	if tl, err := FigTrafficTimeline(r.GridNPB, "Campus"); err == nil {
+		b.WriteString("```\n" + tl + "```\n\n")
+	}
+
 	if len(r.Baselines) > 0 {
 		b.WriteString("## Beyond the paper's figures — §5 baseline comparison\n\n")
 		b.WriteString("The paper argues pre-existing strategies (manual/simple hierarchical partitioning, ")

@@ -1,0 +1,208 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewLogHistogramValidation(t *testing.T) {
+	cases := []struct {
+		name   string
+		lo, hi float64
+		bpd    int
+		ok     bool
+	}{
+		{"valid", 1e-6, 10, 5, true},
+		{"default-bpd", 1e-3, 1, 0, true},
+		{"zero-lo", 0, 10, 5, false},
+		{"negative-lo", -1, 10, 5, false},
+		{"hi-below-lo", 1, 0.5, 5, false},
+		{"hi-equals-lo", 1, 1, 5, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h, err := NewLogHistogram(tc.lo, tc.hi, tc.bpd)
+			if (err == nil) != tc.ok {
+				t.Fatalf("NewLogHistogram(%g, %g, %d) err = %v, want ok=%v",
+					tc.lo, tc.hi, tc.bpd, err, tc.ok)
+			}
+			if tc.ok && h.NumBuckets() < 1 {
+				t.Errorf("no buckets")
+			}
+		})
+	}
+}
+
+func TestHistogramBucketing(t *testing.T) {
+	// [1e-6, 1) at 5 buckets/decade -> 30 buckets, growth 10^(1/5).
+	h := MustLogHistogram(1e-6, 1, 5)
+	if got := h.NumBuckets(); got != 30 {
+		t.Fatalf("buckets = %d, want 30", got)
+	}
+	cases := []struct {
+		v      float64
+		bucket int
+	}{
+		{0, 0},          // clamped below Lo
+		{-5, 0},         // negative clamps too
+		{1e-6, 0},       // exactly Lo
+		{1.5e-6, 0},     // g = 10^(1/5) ~= 1.585: 1.5e-6 < Lo*g stays in bucket 0
+		{1.6e-6, 1},     // just past the first boundary
+		{9.9e-1, 29},    // just under the top
+		{1, 29},         // at hi: clamps into the last bucket
+		{1e9, 29},       // far above clamps
+		{math.NaN(), 0}, // NaN clamps to bucket 0
+		{2.51e-6, 1},    // Lo*g^2 = 2.512e-6: just below the boundary
+	}
+	for _, tc := range cases {
+		if got := h.bucketOf(tc.v); got != tc.bucket {
+			t.Errorf("bucketOf(%g) = %d, want %d", tc.v, got, tc.bucket)
+		}
+	}
+	// Every bucket's own lower bound must map back into that bucket (modulo
+	// floating-point rounding at the exact boundary, tested via midpoint).
+	for i := 0; i < h.NumBuckets(); i++ {
+		mid := math.Sqrt(h.lowerBound(i+0) * h.UpperBound(i))
+		if i == 0 {
+			mid = h.Lo * math.Sqrt(h.Growth)
+		}
+		if got := h.bucketOf(mid); got != i {
+			t.Errorf("midpoint of bucket %d maps to %d", i, got)
+		}
+	}
+}
+
+func TestHistogramCountSumMean(t *testing.T) {
+	h := MustLogHistogram(1e-3, 10, 5)
+	vals := []float64{0.001, 0.01, 0.1, 1, 5}
+	var want float64
+	for _, v := range vals {
+		h.Observe(v)
+		want += v
+	}
+	if h.Count != int64(len(vals)) {
+		t.Errorf("Count = %d, want %d", h.Count, len(vals))
+	}
+	if math.Abs(h.Sum-want) > 1e-12 {
+		t.Errorf("Sum = %g, want %g", h.Sum, want)
+	}
+	if math.Abs(h.Mean()-want/float64(len(vals))) > 1e-12 {
+		t.Errorf("Mean = %g", h.Mean())
+	}
+	if (&Histogram{Counts: make([]int64, 1)}).Mean() != 0 {
+		t.Error("empty Mean != 0")
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := MustLogHistogram(1e-3, 100, 10)
+	// 100 observations of 1.0: every quantile must land inside 1.0's bucket.
+	for i := 0; i < 100; i++ {
+		h.Observe(1.0)
+	}
+	b := h.bucketOf(1.0)
+	lo, hi := h.lowerBound(b), h.UpperBound(b)
+	for _, p := range []float64{0, 25, 50, 75, 99, 100} {
+		q := h.Quantile(p)
+		if q < lo || q > hi {
+			t.Errorf("Quantile(%g) = %g outside observed bucket [%g, %g)", p, q, lo, hi)
+		}
+	}
+}
+
+func TestHistogramQuantileTableDriven(t *testing.T) {
+	cases := []struct {
+		name   string
+		obs    []float64
+		p      float64
+		within [2]float64 // acceptable interval (bucket resolution)
+	}{
+		{"empty", nil, 50, [2]float64{0, 0}},
+		{"single-low", []float64{0.002}, 50, [2]float64{0, 0.004}},
+		{"median-of-two-decades", []float64{0.01, 0.01, 0.01, 10, 10, 10}, 50, [2]float64{0.005, 0.02}},
+		{"p99-tail", append(repeat(0.01, 99), 50), 99.5, [2]float64{25, 100}},
+		{"zeros-clamp", []float64{0, 0, 0, 0}, 90, [2]float64{0, 0.0016}},
+		{"clamped-p-above-100", []float64{1}, 150, [2]float64{0.5, 2}},
+		{"clamped-p-below-0", []float64{1}, -10, [2]float64{0, 2}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			h := MustLogHistogram(1e-3, 100, 5)
+			for _, v := range tc.obs {
+				h.Observe(v)
+			}
+			q := h.Quantile(tc.p)
+			if q < tc.within[0] || q > tc.within[1] {
+				t.Errorf("Quantile(%g) = %g, want within [%g, %g]", tc.p, q, tc.within[0], tc.within[1])
+			}
+		})
+	}
+}
+
+func repeat(v float64, n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = v
+	}
+	return out
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := MustLogHistogram(1e-3, 10, 5)
+	b := MustLogHistogram(1e-3, 10, 5)
+	for i := 0; i < 10; i++ {
+		a.Observe(0.01)
+		b.Observe(1)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if a.Count != 20 {
+		t.Errorf("merged Count = %d, want 20", a.Count)
+	}
+	if math.Abs(a.Sum-10*0.01-10*1) > 1e-9 {
+		t.Errorf("merged Sum = %g", a.Sum)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge errored: %v", err)
+	}
+	incompatible := MustLogHistogram(1e-6, 10, 5)
+	if err := a.Merge(incompatible); err == nil {
+		t.Error("incompatible merge accepted")
+	}
+}
+
+func TestHistogramCloneAndReset(t *testing.T) {
+	h := MustLogHistogram(1e-3, 10, 5)
+	h.Observe(0.5)
+	cp := h.CloneHistogram()
+	h.Observe(0.5)
+	if cp.Count != 1 || h.Count != 2 {
+		t.Errorf("clone not independent: clone=%d orig=%d", cp.Count, h.Count)
+	}
+	var nilH *Histogram
+	if nilH.CloneHistogram() != nil {
+		t.Error("nil clone not nil")
+	}
+	h.ResetHistogram()
+	if h.Count != 0 || h.Sum != 0 {
+		t.Errorf("reset left Count=%d Sum=%g", h.Count, h.Sum)
+	}
+	for i, c := range h.Counts {
+		if c != 0 {
+			t.Errorf("reset left bucket %d = %d", i, c)
+		}
+	}
+}
+
+func TestHistogramObserveNoAlloc(t *testing.T) {
+	h := MustLogHistogram(1e-6, 10, 5)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 1000; i++ {
+			h.Observe(float64(i) * 1e-4)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("Observe allocated %.1f times per run, want 0", allocs)
+	}
+}

@@ -44,9 +44,12 @@ func Publish(name string, s *RunStats) {
 
 // ServeDebug starts an HTTP server on addr (e.g. "localhost:6060") serving
 // /debug/pprof/* and /debug/vars, and returns the server together with its
-// resolved base URL. The caller owns shutdown (srv.Close). Pass addr with
-// port 0 to pick a free port.
-func ServeDebug(addr string) (*http.Server, string, error) {
+// resolved base URL. Additional subsystems mount their own handlers through
+// mounts — each receives the server's mux before it starts serving (this is
+// how telemetry.Mount adds /metrics and /trafficmatrix without obs importing
+// it). The caller owns shutdown (srv.Shutdown for graceful drain, srv.Close
+// to abort). Pass addr with port 0 to pick a free port.
+func ServeDebug(addr string, mounts ...func(*http.ServeMux)) (*http.Server, string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, "", fmt.Errorf("obs: debug endpoint: %w", err)
@@ -58,6 +61,11 @@ func ServeDebug(addr string) (*http.Server, string, error) {
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	mux.Handle("/debug/vars", expvar.Handler())
+	for _, m := range mounts {
+		if m != nil {
+			m(mux)
+		}
+	}
 	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return srv, "http://" + ln.Addr().String(), nil

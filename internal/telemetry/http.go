@@ -1,0 +1,44 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+)
+
+// Mount returns a mux-mounting function for obs.ServeDebug that exposes the
+// collector's traffic plane over HTTP:
+//
+//	/metrics        Prometheus text exposition of the registry
+//	/trafficmatrix  JSON Snapshot (matrix, link totals, quantiles, timeline)
+//
+// Both endpoints serve the latest published barrier-time state; they are safe
+// to hit while a run is live and return byte-identical bodies for identical
+// completed runs. telemetry does not import obs (callers compose the two):
+//
+//	srv, addr, err := obs.ServeDebug(addr, telemetry.Mount(col))
+func Mount(c *Collector) func(*http.ServeMux) {
+	return func(mux *http.ServeMux) {
+		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if c == nil {
+				return
+			}
+			_ = c.Metrics().WriteExposition(w)
+		})
+		mux.HandleFunc("/trafficmatrix", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = WriteMatrixJSON(w, c.Snapshot())
+		})
+	}
+}
+
+// WriteMatrixJSON serializes a snapshot as indented JSON — the exact bytes
+// the /trafficmatrix endpoint serves, factored out so cmd/massf's
+// -matrix-out flag and the golden tests produce the same form. The Snapshot
+// struct contains no maps, so encoding is deterministic.
+func WriteMatrixJSON(w io.Writer, s *Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,274 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+func sizedCollector() *Collector {
+	c := New()
+	c.Reset(Dims{Engines: 2, Nodes: 4, Links: 3, Duration: 8, BucketWidth: 2})
+	return c
+}
+
+func TestNilCollectorSafe(t *testing.T) {
+	var c *Collector
+	if c.Enabled() {
+		t.Fatal("nil collector reports enabled")
+	}
+	c.Commit(0, 1, []int64{1, 2})
+	c.Finish(1)
+	c.Restore(nil)
+	if cp := c.Checkpoint(); cp != nil {
+		t.Fatal("nil checkpoint not nil")
+	}
+	if s := c.Snapshot(); s == nil || s.Engines != 0 {
+		t.Fatalf("nil snapshot = %+v", s)
+	}
+	if p := c.ToProfile(); p != nil {
+		t.Fatal("nil profile not nil")
+	}
+}
+
+func TestUnsizedCommitIgnored(t *testing.T) {
+	c := New()
+	c.Commit(0, 1, []int64{5})
+	c.Finish(1)
+	if s := c.Snapshot(); s.Windows != 0 {
+		t.Fatalf("unsized collector committed windows: %+v", s)
+	}
+}
+
+func TestMatrixAndSnapshot(t *testing.T) {
+	c := sizedCollector()
+	// Engine 0 sends 3 packets / 3000 bytes to engine 1 over link 0 dir 0,
+	// and 1 packet / 500 bytes to itself over link 1 dir 1.
+	c.ObserveForward(0, 1, 0, 0, 3000, 3, 0.5e-3)
+	c.ObserveForward(0, 0, 1, 1, 500, 1, 0)
+	c.ObserveFlowComplete(1, 0.25)
+	c.ObserveDrop(0, 2)
+	c.Commit(0, 1, []int64{10, 30})
+	c.Finish(8)
+
+	s := c.Snapshot()
+	if s.MatrixBytes[0][1] != 3000 || s.MatrixBytes[0][0] != 500 {
+		t.Fatalf("matrix bytes = %v", s.MatrixBytes)
+	}
+	if s.MatrixPackets[0][1] != 3 {
+		t.Fatalf("matrix packets = %v", s.MatrixPackets)
+	}
+	if s.CrossEngineBytes != 3000 || s.TotalBytes != 3500 {
+		t.Fatalf("cross=%d total=%d", s.CrossEngineBytes, s.TotalBytes)
+	}
+	if s.LinkTxBytes[0] != 3000 || s.LinkTxBytes[1] != 500 || s.LinkTxBytes[2] != 0 {
+		t.Fatalf("link tx bytes = %v", s.LinkTxBytes)
+	}
+	if s.FlowsCompleted != 1 || s.DroppedPackets != 2 {
+		t.Fatalf("flows=%d drops=%d", s.FlowsCompleted, s.DroppedPackets)
+	}
+	if s.EngineCharges[0] != 10 || s.EngineCharges[1] != 30 {
+		t.Fatalf("charges = %v", s.EngineCharges)
+	}
+	if s.Imbalance <= 0 {
+		t.Fatalf("imbalance = %g, want > 0 for uneven charges", s.Imbalance)
+	}
+	if s.FCTP50 <= 0 {
+		t.Fatalf("fct p50 = %g", s.FCTP50)
+	}
+	if s.VirtualTime != 8 || s.Windows != 1 {
+		t.Fatalf("vt=%g windows=%d", s.VirtualTime, s.Windows)
+	}
+}
+
+func TestSnapshotIsolatedFromLiveState(t *testing.T) {
+	c := sizedCollector()
+	c.ObserveForward(0, 1, 0, 0, 100, 1, 0)
+	c.Commit(0, 1, []int64{1, 1})
+	s := c.Snapshot()
+	// Mutating hot state after the snapshot must not leak into it.
+	c.ObserveForward(0, 1, 0, 0, 900, 9, 0)
+	if s.MatrixBytes[0][1] != 100 {
+		t.Fatalf("snapshot aliased live state: %v", s.MatrixBytes)
+	}
+	// And a snapshot without a new Commit still serves barrier-time data.
+	if got := c.Snapshot().MatrixBytes[0][1]; got != 100 {
+		t.Fatalf("unpublished data leaked: %d", got)
+	}
+}
+
+func TestTimelineWindows(t *testing.T) {
+	c := sizedCollector() // BucketWidth 2, Duration 8
+	c.ObserveForward(0, 1, 0, 0, 1000, 1, 0)
+	c.Commit(0, 1, []int64{4, 4})
+	c.Commit(1, 2.5, []int64{4, 4}) // crosses the 2s boundary
+	c.ObserveForward(1, 0, 0, 1, 500, 1, 0)
+	c.Commit(2.5, 5, []int64{2, 6}) // crosses 4s
+	c.Finish(8)
+
+	s := c.Snapshot()
+	if len(s.Timeline) != 2 {
+		t.Fatalf("timeline = %+v, want exactly the 2 non-idle windows", s.Timeline)
+	}
+	if s.Timeline[0].Time != 2 || s.Timeline[0].CrossEngineBytes != 1000 {
+		t.Fatalf("window 0 = %+v", s.Timeline[0])
+	}
+	if s.Timeline[0].Imbalance != 0 {
+		t.Fatalf("balanced window imbalance = %g", s.Timeline[0].Imbalance)
+	}
+	if s.Timeline[1].Time != 4 || s.Timeline[1].CrossEngineBytes != 500 {
+		t.Fatalf("window 1 = %+v", s.Timeline[1])
+	}
+	if s.Timeline[1].Imbalance <= 0 {
+		t.Fatalf("uneven window imbalance = %g", s.Timeline[1].Imbalance)
+	}
+	// Total across the timeline covers all traffic exactly once.
+	var cross int64
+	for _, p := range s.Timeline {
+		cross += p.CrossEngineBytes
+	}
+	if cross != 1500 {
+		t.Fatalf("timeline cross bytes sum = %d, want 1500", cross)
+	}
+}
+
+func TestToProfileShape(t *testing.T) {
+	c := sizedCollector()
+	c.ObserveNode(0, -1, 0, 5, 0.1) // source host: no rx link
+	c.ObserveNode(1, 0, 0, 5, 0.2)  // router receives over link 0 dir 0
+	c.ObserveNode(2, 1, 1, 5, 0.3)  // next hop over link 1 dir 1
+	sum := c.ToProfile()
+	if sum.NodePackets[0] != 5 || sum.NodePackets[1] != 5 || sum.NodePackets[2] != 5 {
+		t.Fatalf("node packets = %v", sum.NodePackets)
+	}
+	if sum.LinkPackets[0] != 5 || sum.LinkPackets[1] != 5 {
+		t.Fatalf("link packets = %v", sum.LinkPackets)
+	}
+	if _, ok := sum.LinkPackets[2]; ok {
+		t.Fatal("idle link present in profile")
+	}
+	if sum.NodeSeries.Buckets() != 5 || sum.NodeSeries.Nodes() != 4 {
+		t.Fatalf("series %dx%d", sum.NodeSeries.Buckets(), sum.NodeSeries.Nodes())
+	}
+	if sum.NodeSeries.Loads[0][1] != 5 {
+		t.Fatalf("series bucket 0 = %v", sum.NodeSeries.Loads[0])
+	}
+	// The profile must be detached from the live series.
+	c.ObserveNode(1, 0, 0, 100, 0.2)
+	if sum.NodeSeries.Loads[0][1] != 5 {
+		t.Fatal("profile aliases live series")
+	}
+}
+
+func TestCheckpointRestore(t *testing.T) {
+	c := sizedCollector()
+	c.ObserveNode(1, 0, 0, 7, 0.5)
+	c.ObserveForward(0, 1, 0, 0, 700, 7, 1e-3)
+	c.Commit(0, 1, []int64{3, 3})
+	cp := c.Checkpoint()
+
+	// Diverge: traffic that a crash will force us to replay.
+	c.ObserveNode(1, 0, 0, 9, 1.5)
+	c.ObserveForward(0, 1, 0, 0, 900, 9, 2e-3)
+	c.ObserveFlowComplete(1, 0.5)
+	c.ObserveDrop(0, 1)
+	c.Commit(1, 3, []int64{5, 5})
+
+	c.Restore(cp)
+	c.Finish(8)
+	s := c.Snapshot()
+	if s.MatrixBytes[0][1] != 700 || s.MatrixPackets[0][1] != 7 {
+		t.Fatalf("restore left matrix %v / %v", s.MatrixBytes, s.MatrixPackets)
+	}
+	if s.FlowsCompleted != 0 || s.DroppedPackets != 0 {
+		t.Fatalf("restore left flows=%d drops=%d", s.FlowsCompleted, s.DroppedPackets)
+	}
+	if s.EngineCharges[0] != 3 {
+		t.Fatalf("restore left charges %v", s.EngineCharges)
+	}
+	p := c.ToProfile()
+	if p.NodePackets[1] != 7 || p.LinkPackets[0] != 7 {
+		t.Fatalf("restore left profile node=%v link=%v", p.NodePackets, p.LinkPackets)
+	}
+	// The checkpoint must survive a second restore (rollback twice).
+	c.ObserveNode(1, 0, 0, 11, 1.5)
+	c.Restore(cp)
+	if c.ToProfile().NodePackets[1] != 7 {
+		t.Fatal("checkpoint mutated by restore")
+	}
+}
+
+func TestHotPathNoAllocs(t *testing.T) {
+	c := sizedCollector()
+	allocs := testing.AllocsPerRun(200, func() {
+		c.ObserveNode(1, 0, 0, 3, 0.5)
+		c.ObserveForward(0, 1, 0, 0, 300, 3, 1e-4)
+		c.ObserveFlowComplete(1, 0.1)
+		c.ObserveDrop(0, 1)
+	})
+	if allocs > 0 {
+		t.Fatalf("hot path allocated %.1f/run, want 0", allocs)
+	}
+}
+
+func TestRegistryExposition(t *testing.T) {
+	c := sizedCollector()
+	c.ObserveForward(0, 1, 0, 0, 1000, 2, 0.5e-3)
+	c.ObserveFlowComplete(1, 0.25)
+	c.Commit(0, 2.5, []int64{8, 4})
+	c.Finish(8)
+
+	var b strings.Builder
+	if err := c.Metrics().WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE massf_traffic_matrix_bytes_total counter",
+		`massf_traffic_matrix_bytes_total{dst="1",src="0"} 1000`,
+		"massf_cross_engine_bytes_total 1000",
+		"massf_virtual_time_seconds 8",
+		"massf_windows_total 1",
+		`massf_engine_charges_total{engine="0"} 8`,
+		"# TYPE massf_flow_completion_seconds histogram",
+		"massf_flow_completion_seconds_count 1",
+		`massf_flow_completion_seconds_bucket{le="+Inf"} 1`,
+		"massf_queue_delay_seconds_sum 0.0005",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n----\n%s", want, out)
+		}
+	}
+
+	// Deterministic: a second render is byte-identical.
+	var b2 strings.Builder
+	if err := c.Metrics().WriteExposition(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if out != b2.String() {
+		t.Error("two renders of the same registry differ")
+	}
+}
+
+func TestRegistryLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("g", "h", Label{"k", `a"b\c` + "\n"}).Set(1)
+	var b strings.Builder
+	if err := r.WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `g{k="a\"b\\c\n"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("escaped label missing %q in %q", want, b.String())
+	}
+}
+
+func TestRegistryReuseSameHandle(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c", "h", Label{"x", "1"})
+	b := r.Counter("c", "h", Label{"x", "1"})
+	a.Add(2)
+	b.Add(3)
+	if got := a.Get(); got != 5 {
+		t.Fatalf("re-registered handle diverged: %g", got)
+	}
+}

@@ -44,6 +44,7 @@ import (
 	"repro/internal/netgraph"
 	"repro/internal/obs"
 	"repro/internal/partition"
+	"repro/internal/telemetry"
 	"repro/internal/topogen"
 	"repro/internal/traffic"
 )
@@ -214,6 +215,38 @@ var (
 	PublishStats = obs.Publish
 	// ServeDebug starts the pprof + expvar debug HTTP endpoint.
 	ServeDebug = obs.ServeDebug
+)
+
+// Traffic-plane telemetry (see internal/telemetry): a collector threaded
+// through an emulation measures the live src-engine × dst-engine traffic
+// matrix, per-link utilization, queue-delay and flow-completion histograms,
+// and a per-window imbalance/cross-traffic timeline — published
+// deterministically at sync-window barriers, with a zero-cost disabled path.
+type (
+	// TelemetryCollector is the traffic-plane collector (Scenario.
+	// TelemetryCollector, or WithTelemetry at the emulator level).
+	TelemetryCollector = telemetry.Collector
+	// TelemetrySnapshot is a published, immutable view of one run's traffic
+	// plane (EmuResult.Telemetry, Outcome.Telemetry()).
+	TelemetrySnapshot = telemetry.Snapshot
+	// TrafficPoint is one measurement window of the imbalance /
+	// cross-engine-traffic timeline.
+	TrafficPoint = telemetry.TrafficPoint
+)
+
+// Telemetry constructors and helpers.
+var (
+	// NewTelemetry returns an idle collector, reusable across runs.
+	NewTelemetry = telemetry.New
+	// WithTelemetry threads a collector through one emulation run.
+	WithTelemetry = emu.WithTelemetry
+	// MountTelemetry returns the mount that adds /metrics (Prometheus text
+	// exposition) and /trafficmatrix (JSON) to a ServeDebug endpoint:
+	// ServeDebug(addr, MountTelemetry(col)).
+	MountTelemetry = telemetry.Mount
+	// WriteTrafficMatrixJSON renders a snapshot as the /trafficmatrix JSON
+	// document.
+	WriteTrafficMatrixJSON = telemetry.WriteMatrixJSON
 )
 
 // SpreadHosts picks n application injection points spread evenly over the

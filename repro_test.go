@@ -2,6 +2,9 @@ package repro
 
 import (
 	"context"
+	"io"
+	"net/http"
+	"strings"
 	"testing"
 )
 
@@ -138,5 +141,47 @@ func TestFacadeDynamic(t *testing.T) {
 	}
 	if len(res.Segments) != 2 {
 		t.Fatalf("segments = %d, want 2", len(res.Segments))
+	}
+}
+
+func TestFacadeTelemetry(t *testing.T) {
+	tel := NewTelemetry()
+	sc := &Scenario{
+		Network: Campus(), Engines: 2,
+		Background:         DefaultHTTP(5, 1),
+		TelemetryCollector: tel,
+	}
+	out, err := sc.Run(context.Background(), Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap *TelemetrySnapshot = out.Telemetry()
+	if snap == nil || snap.TotalBytes == 0 {
+		t.Fatal("no telemetry measured")
+	}
+	var tp []TrafficPoint = snap.Timeline
+	if len(tp) == 0 {
+		t.Error("empty timeline")
+	}
+	var b strings.Builder
+	if err := WriteTrafficMatrixJSON(&b, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `"matrixBytes"`) {
+		t.Error("matrix JSON incomplete")
+	}
+	srv, base, err := ServeDebug("127.0.0.1:0", MountTelemetry(tel))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "massf_forwarded_bytes_total") {
+		t.Errorf("exposition incomplete:\n%.200s", body)
 	}
 }
