@@ -1,0 +1,98 @@
+package main
+
+import (
+	"errors"
+	"testing"
+)
+
+// base returns a flag state that validates cleanly.
+func base() cliFlags {
+	return cliFlags{approach: "all", duration: 120}
+}
+
+func TestValidateFlagsAccepts(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*cliFlags)
+	}{
+		{"defaults", func(f *cliFlags) {}},
+		{"netfile+engines", func(f *cliFlags) { f.netfile = "x.net"; f.engines = 4 }},
+		{"single-approach", func(f *cliFlags) { f.approach = "TOP" }},
+		{"worker", func(f *cliFlags) { *f = cliFlags{worker: "127.0.0.1:9000"} }},
+		{"coordinator", func(f *cliFlags) {
+			f.approach = "PROFILE"
+			f.coordinator = "127.0.0.1:9000"
+			f.workers = 2
+		}},
+		{"coordinator+result-out", func(f *cliFlags) {
+			f.approach = "TOP"
+			f.coordinator = ":0"
+			f.workers = 1
+			f.resultOut = "out.json"
+		}},
+		{"result-out in-process", func(f *cliFlags) { f.resultOut = "out.json" }},
+	}
+	for _, tc := range cases {
+		f := base()
+		tc.mod(&f)
+		if err := validateFlags(f); err != nil {
+			t.Errorf("%s: unexpected rejection: %v", tc.name, err)
+		}
+	}
+}
+
+func TestValidateFlagsRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		mod  func(*cliFlags)
+		want error
+	}{
+		{"bad duration", func(f *cliFlags) { f.duration = 0 }, errBadDuration},
+		{"bad approach", func(f *cliFlags) { f.approach = "BOGUS" }, errBadApproach},
+		{"netfile without engines", func(f *cliFlags) { f.netfile = "x.net" }, errNetfileNeedsEngines},
+		{"engines without netfile", func(f *cliFlags) { f.engines = 4 }, errEnginesNeedNetfile},
+		{"record+replay", func(f *cliFlags) { f.record = "a"; f.replay = "b" }, errRecordReplay},
+		{"export+trace", func(f *cliFlags) { f.export = "x"; f.tracePath = "t" }, errNoRun},
+		{"metrics=pprof", func(f *cliFlags) { f.metricsAddr = ":1"; f.pprofAddr = ":1" }, errAddrClash},
+
+		{"worker+coordinator", func(f *cliFlags) {
+			*f = cliFlags{worker: ":1", coordinator: ":2"}
+		}, errWorkerExclusive},
+		{"worker+fault", func(f *cliFlags) {
+			*f = cliFlags{worker: ":1", faults: true}
+		}, errWorkerExclusive},
+		{"worker+result-out", func(f *cliFlags) {
+			*f = cliFlags{worker: ":1", resultOut: "o.json"}
+		}, errWorkerExclusive},
+		{"worker+netfile", func(f *cliFlags) {
+			*f = cliFlags{worker: ":1", netfile: "x.net"}
+		}, errWorkerExclusive},
+		{"coordinator all-approaches", func(f *cliFlags) {
+			f.coordinator = ":1"
+			f.workers = 1
+		}, errCoordinatorOneRun},
+		{"coordinator+fault", func(f *cliFlags) {
+			f.approach = "TOP"
+			f.coordinator = ":1"
+			f.workers = 1
+			f.faults = true
+		}, errCoordinatorFaults},
+		{"coordinator without workers", func(f *cliFlags) {
+			f.approach = "TOP"
+			f.coordinator = ":1"
+		}, errCoordinatorWorkers},
+		{"workers without coordinator", func(f *cliFlags) { f.workers = 2 }, errWorkersNeedCoord},
+	}
+	for _, tc := range cases {
+		f := base()
+		tc.mod(&f)
+		err := validateFlags(f)
+		if err == nil {
+			t.Errorf("%s: accepted, want %v", tc.name, tc.want)
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/dist"
 	"repro/internal/experiments"
 	"repro/internal/faults"
 	"repro/internal/mapping"
@@ -87,6 +88,11 @@ func main() {
 
 		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics and live /trafficmatrix (plus pprof and expvar) on this address")
 		matrixOut   = flag.String("matrix-out", "", "write each run's final traffic matrix JSON to this file (.<approach> suffix with -approach all)")
+
+		workerAddr = flag.String("worker", "", "run as a distributed worker: dial the coordinator at this address and serve engines")
+		coordAddr  = flag.String("coordinator", "", "run as the distributed coordinator: listen on this address for workers")
+		workers    = flag.Int("workers", 0, "number of worker connections to wait for (with -coordinator)")
+		resultOut  = flag.String("result-out", "", "write the run's canonical result JSON to this file (.<approach> suffix with -approach all)")
 	)
 	var faultSpecs multiFlag
 	flag.Var(&faultSpecs, "fault", "fault spec (crash:E@T | slow:E@T1-T2xF | degrade@T1-T2xF); repeatable")
@@ -106,8 +112,30 @@ func main() {
 		pprofAddr:   *pprofAddr,
 		metricsAddr: *metricsAddr,
 		matrixOut:   *matrixOut,
+		worker:      *workerAddr,
+		coordinator: *coordAddr,
+		workers:     *workers,
+		resultOut:   *resultOut,
+		faults:      len(faultSpecs) > 0,
 	}); err != nil {
 		fatal(err)
+	}
+
+	if *workerAddr != "" {
+		// Worker mode: no local scenario — the coordinator ships the full
+		// normalized spec over the wire. Ctrl-C drains gracefully between
+		// receive slices.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		logf := func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
+		}
+		logf("dialing coordinator at %s", *workerAddr)
+		if err := dist.DialAndServe(ctx, *workerAddr, dist.WorkerOptions{Logf: logf}); err != nil {
+			fatal(fmt.Errorf("worker: %w", err))
+		}
+		logf("run complete")
+		return
 	}
 
 	cfg := experiments.Config{Duration: *duration, Seed: *seed, Sequential: *seq}
@@ -199,6 +227,26 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+
+	var workerConns []dist.Conn
+	if *coordAddr != "" {
+		l, err := dist.Listen(*coordAddr)
+		if err != nil {
+			fatal(fmt.Errorf("coordinator: %w", err))
+		}
+		fmt.Fprintf(os.Stderr, "coordinator: waiting for %d worker(s) on %s\n", *workers, l.Addr())
+		for i := 0; i < *workers; i++ {
+			c, err := dist.Accept(ctx, l)
+			if err != nil {
+				l.Close()
+				fatal(fmt.Errorf("coordinator: accepting worker %d of %d: %w", i+1, *workers, err))
+			}
+			workerConns = append(workerConns, c)
+			fmt.Fprintf(os.Stderr, "coordinator: worker %d/%d connected (%s)\n", i+1, *workers, c.Label())
+		}
+		l.Close()
+	}
+
 	sc.CollectStats = *stats
 	var live *obs.RunStats
 	if *pprofAddr != "" {
@@ -254,7 +302,17 @@ func main() {
 
 		start := time.Now()
 		var o *core.Outcome
-		if sched != nil {
+		if workerConns != nil {
+			var err error
+			o, err = sc.RunDistributed(ctx, a, workerConns, dist.Options{
+				Logf: func(format string, args ...any) {
+					fmt.Fprintf(os.Stderr, "coordinator: "+format+"\n", args...)
+				},
+			})
+			if err != nil {
+				fatal(fmt.Errorf("%s: %w", a, err))
+			}
+		} else if sched != nil {
 			ro, err := sc.RunResilient(ctx, core.FaultOptions{
 				Schedule:        sched,
 				CheckpointEvery: *checkpoint,
@@ -281,6 +339,20 @@ func main() {
 		fmt.Printf("%-8s %10.3f %12.1f %12.1f %9.2gms %9d %10d %9s\n",
 			a, r.Imbalance, r.AppTime, r.NetTime, r.Lookahead*1e3,
 			r.Kernel.Windows, r.RemoteEvents, time.Since(start).Round(time.Millisecond))
+		if *resultOut != "" {
+			path := *resultOut
+			if len(approaches) > 1 {
+				path += "." + string(a)
+			}
+			blob, err := dist.ResultJSON(r)
+			if err != nil {
+				fatal(fmt.Errorf("%s: canonical result: %w", a, err))
+			}
+			if err := os.WriteFile(path, blob, 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s canonical result to %s\n", a, path)
+		}
 		if *stats && r.Obs != nil {
 			fmt.Printf("         kernel: %s\n", r.Obs)
 		}
@@ -342,6 +414,10 @@ type cliFlags struct {
 	stats                  bool
 	pprofAddr              string
 	metricsAddr, matrixOut string
+	worker, coordinator    string
+	workers                int
+	resultOut              string
+	faults                 bool
 }
 
 // Flag-combination errors — typed so callers (and tests) can match them with
@@ -354,11 +430,46 @@ var (
 	errAddrClash           = errors.New("-metrics and -pprof need distinct addresses (the -metrics server already includes pprof and expvar)")
 	errBadApproach         = errors.New("-approach must be TOP, PLACE, PROFILE, or all")
 	errBadDuration         = errors.New("-duration must be positive")
+
+	errWorkerExclusive    = errors.New("-worker runs no local emulation and takes no other mode flags")
+	errCoordinatorOneRun  = errors.New("-coordinator needs a single -approach (not all)")
+	errCoordinatorFaults  = errors.New("-coordinator cannot combine with -fault (worker loss is the distributed fault path)")
+	errCoordinatorWorkers = errors.New("-coordinator requires -workers >= 1")
+	errWorkersNeedCoord   = errors.New("-workers only applies together with -coordinator")
 )
 
 // validateFlags rejects contradictory flag combinations up front, before any
 // topology or traffic generation runs.
 func validateFlags(f cliFlags) error {
+	if f.worker != "" {
+		// A worker has no scenario of its own: everything arrives from the
+		// coordinator, so every local-run flag is a contradiction.
+		others := []bool{
+			f.coordinator != "", f.workers != 0, f.netfile != "", f.export != "",
+			f.topostats, f.record != "", f.replay != "", f.tracePath != "",
+			f.stats, f.metricsAddr != "", f.matrixOut != "", f.resultOut != "",
+			f.faults,
+		}
+		for _, set := range others {
+			if set {
+				return errWorkerExclusive
+			}
+		}
+		return nil
+	}
+	if f.coordinator != "" {
+		if f.approach == "all" {
+			return errCoordinatorOneRun
+		}
+		if f.faults {
+			return errCoordinatorFaults
+		}
+		if f.workers < 1 {
+			return errCoordinatorWorkers
+		}
+	} else if f.workers != 0 {
+		return errWorkersNeedCoord
+	}
 	if f.duration <= 0 {
 		return fmt.Errorf("%w (got %g)", errBadDuration, f.duration)
 	}

@@ -173,6 +173,12 @@ func (s *Scheduler) fail(err error) {
 	}
 }
 
+// Fail poisons the run with err (first error wins): the current window stops
+// processing further events on this LP and the kernel surfaces the error at
+// the barrier. Handlers use it for unrecoverable payload or protocol errors —
+// the same mechanism lookahead violations use — instead of panicking.
+func (s *Scheduler) Fail(err error) { s.fail(err) }
+
 // Kernel is the parallel event engine. Create with New, seed initial events
 // with Schedule, then call Run once. After a Restore the kernel may be Run
 // again, resuming from the restored checkpoint.

@@ -1,0 +1,411 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/des"
+	"repro/internal/emu"
+	"repro/internal/faults"
+	"repro/internal/telemetry"
+)
+
+// RunSpec is everything the coordinator needs to drive one distributed run.
+type RunSpec struct {
+	// Cfg is the scenario; it is normalized in place before shipping. Profile
+	// and Faults must be unset (checkDistConfig), and OnCrash must be nil —
+	// worker-loss recovery supplies its own remapper via OnWorkerLoss.
+	Cfg emu.Config
+	// Hierarchical tells workers to rebuild the two-level per-AS routing.
+	Hierarchical bool
+	// Telemetry, when non-nil, is the coordinator-side collector the workers'
+	// traffic-plane shares merge into (it feeds /metrics and ToProfile
+	// exactly as in-process).
+	Telemetry *telemetry.Collector
+	// EmuOpts carries recorders/stats options for the coordinator's
+	// observation plane, as for emu.Run.
+	EmuOpts []emu.Option
+	// OnWorkerLoss computes the recovery assignment when a worker is lost:
+	// the run degrades to the in-process crash-recovery path with the lost
+	// worker's engines fail-stopped, and this hook (typically the same
+	// RemapSurvivors policy used for injected faults) remaps their nodes
+	// onto survivors. When nil, worker loss is fatal.
+	OnWorkerLoss func(f emu.EngineFailure) ([]int, error)
+}
+
+// Options tunes the coordinator's protocol timing.
+type Options struct {
+	// HandshakeTimeout bounds HELLO/READY waits per worker (default 30 s).
+	HandshakeTimeout time.Duration
+	// StepTimeout bounds every in-run worker response — votes, window
+	// reports, checkpoint acks, final states (default 60 s). A worker
+	// silent past it is treated as lost.
+	StepTimeout time.Duration
+	// CheckpointEvery is the virtual-time checkpoint cadence (default
+	// emu.DefaultCheckpointEvery). Checkpoints give workers a consistent
+	// cut; the v1 recovery path replays from time zero in-process, so the
+	// cadence here only bounds worker-side snapshot staleness.
+	CheckpointEvery float64
+	// Logf, when set, receives one line per protocol phase.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) defaults() {
+	if o.HandshakeTimeout <= 0 {
+		o.HandshakeTimeout = 30 * time.Second
+	}
+	if o.StepTimeout <= 0 {
+		o.StepTimeout = 60 * time.Second
+	}
+	if o.CheckpointEvery <= 0 {
+		o.CheckpointEvery = emu.DefaultCheckpointEvery
+	}
+}
+
+func (o *Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// workerLost marks a worker conn failure; it triggers the degradation path
+// rather than failing the run outright. at is the virtual time the loss maps
+// to (stamped by run as the error propagates out).
+type workerLost struct {
+	worker int
+	err    error
+	at     float64
+}
+
+func (w *workerLost) Error() string {
+	return fmt.Sprintf("dist: worker %d lost: %v", w.worker, w.err)
+}
+func (w *workerLost) Unwrap() error { return w.err }
+
+// Run drives one distributed run over the given worker connections. Engines
+// are dealt round-robin (worker w gets engines w, w+W, ...). On worker loss
+// the surviving workers are aborted and the scenario re-runs in-process with
+// the lost worker's engines fail-stopped at the loss time, flowing through
+// the standard checkpoint/rollback/remap recovery — the run completes
+// (Result.Recovery reports it) instead of hanging.
+//
+// The returned Result is byte-identical to emu.Run of the same scenario
+// (modulo Kernel.WallTime and the wall-clock parts of Obs — see ResultJSON).
+func Run(ctx context.Context, spec *RunSpec, workers []Conn, opt Options) (*emu.Result, error) {
+	opt.defaults()
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("dist: no workers")
+	}
+	if spec.Cfg.OnCrash != nil {
+		return nil, fmt.Errorf("dist: set OnWorkerLoss, not Cfg.OnCrash (crash hooks do not ship)")
+	}
+	if err := emu.NormalizeConfig(&spec.Cfg); err != nil {
+		return nil, err
+	}
+	if len(workers) > spec.Cfg.NumEngines {
+		return nil, fmt.Errorf("dist: %d workers for %d engines (every worker needs at least one)",
+			len(workers), spec.Cfg.NumEngines)
+	}
+
+	res, err := run(ctx, spec, workers, &opt)
+	if err == nil {
+		return res, nil
+	}
+	lost, ok := err.(*workerLost)
+	if !ok {
+		abortAll(workers, err.Error())
+		return nil, err
+	}
+	abortAll(workers, lost.Error())
+	if spec.OnWorkerLoss == nil {
+		return nil, fmt.Errorf("%w (no OnWorkerLoss recovery configured)", lost)
+	}
+	opt.logf("dist: %v; degrading to in-process recovery run", lost)
+	return fallback(spec, lost, len(workers), &opt)
+}
+
+func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res *emu.Result, err error) {
+	// Stamp worker-loss errors with the virtual time the loss maps to: the
+	// middle of the window in flight (a conservative kernel can only detect
+	// a silent peer at the following barrier, exactly as the fault-injection
+	// path models it).
+	virtT, virtL := 0.0, 0.0
+	defer func() {
+		if l, ok := err.(*workerLost); ok {
+			l.at = virtT + virtL/2
+		}
+	}()
+	cfg := spec.Cfg // normalized by Run
+	W := len(workers)
+	n := cfg.NumEngines
+
+	blob, err := EncodeSpec(&Spec{Cfg: cfg, Hierarchical: spec.Hierarchical, Telemetry: spec.Telemetry != nil})
+	if err != nil {
+		return nil, err
+	}
+	hash := SpecHash(blob)
+
+	opts := append([]emu.Option(nil), spec.EmuOpts...)
+	if spec.Telemetry != nil {
+		opts = append(opts, emu.WithTelemetry(spec.Telemetry))
+	}
+	if ctx != nil {
+		opts = append(opts, emu.WithContext(ctx))
+	}
+	merge, err := emu.NewDistMerge(cfg, opts...)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+
+	// Round-robin engine assignment, and the reverse map for event routing.
+	engines := make([][]int, W)
+	ownerOf := make([]int, n)
+	for e := 0; e < n; e++ {
+		w := e % W
+		engines[w] = append(engines[w], e)
+		ownerOf[e] = w
+	}
+
+	// Handshake every worker.
+	for w, conn := range workers {
+		f, err := recvFrom(conn, w, opt.HandshakeTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if f.Type != MsgHello {
+			return nil, &workerLost{worker: w, err: fmt.Errorf("expected HELLO, got %s", f.Type)}
+		}
+		h, err := DecodeHello(f.Payload)
+		if err != nil {
+			return nil, &workerLost{worker: w, err: err}
+		}
+		if h.Version != Version {
+			return nil, fmt.Errorf("dist: worker %d speaks protocol %d, this build speaks %d", w, h.Version, Version)
+		}
+		as := Assign{Version: Version, WorkerID: w, Workers: W, Engines: engines[w], Hash: hash, Spec: blob}
+		if err := sendTo(conn, w, Frame{Type: MsgAssign, Payload: as.Encode()}); err != nil {
+			return nil, err
+		}
+	}
+	for w, conn := range workers {
+		f, err := recvFrom(conn, w, opt.HandshakeTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if f.Type != MsgReady {
+			return nil, &workerLost{worker: w, err: fmt.Errorf("expected READY, got %s", f.Type)}
+		}
+		r, err := DecodeReady(f.Payload)
+		if err != nil {
+			return nil, &workerLost{worker: w, err: err}
+		}
+		if r.Hash != hash {
+			return nil, fmt.Errorf("dist: worker %d rebuilt a different scenario (spec hash mismatch)", w)
+		}
+		if math.Float64bits(r.Lookahead) != math.Float64bits(merge.Lookahead()) {
+			return nil, fmt.Errorf("dist: worker %d derived lookahead %g, coordinator %g — builds disagree",
+				w, r.Lookahead, merge.Lookahead())
+		}
+	}
+	opt.logf("dist: %d workers ready, %d engines, lookahead %g", W, n, merge.Lookahead())
+
+	// The window loop — a faithful serialization of des.(*Kernel).Run: merged
+	// events go out, votes come back, the global window is picked on the same
+	// grid with the same skip accounting, the window executes everywhere, and
+	// the barrier merges outboxes in the same deterministic order.
+	L := merge.Lookahead()
+	virtL = L
+	endTime := merge.EndTime()
+	outbox := []emu.WireEvent(nil) // globally sorted, from the last barrier
+	T := 0.0
+	first := true
+	nextCkpt := opt.CheckpointEvery
+	perWorker := make([][]emu.WireEvent, W)
+	reports := make([]*emu.WindowReport, W)
+	for {
+		if err := merge.Canceled(); err != nil {
+			return nil, fmt.Errorf("dist: run canceled: %w", err)
+		}
+		// Deliver the previous barrier's events (each worker gets the
+		// subsequence destined to its engines, in global merge order — the
+		// per-LP sequence streams come out identical to in-process) and
+		// collect votes.
+		for w := range perWorker {
+			perWorker[w] = perWorker[w][:0]
+		}
+		for _, ev := range outbox {
+			w := ownerOf[ev.Dst]
+			perWorker[w] = append(perWorker[w], ev)
+		}
+		for w, conn := range workers {
+			if err := sendTo(conn, w, Frame{Type: MsgEvents, Payload: EncodeEvents(perWorker[w])}); err != nil {
+				return nil, err
+			}
+		}
+		minT, has := 0.0, false
+		for w, conn := range workers {
+			f, err := recvFrom(conn, w, opt.StepTimeout)
+			if err != nil {
+				return nil, err
+			}
+			if f.Type != MsgVote {
+				return nil, &workerLost{worker: w, err: fmt.Errorf("expected VOTE, got %s", f.Type)}
+			}
+			v, err := DecodeVote(f.Payload)
+			if err != nil {
+				return nil, &workerLost{worker: w, err: err}
+			}
+			if v.Has && (!has || v.Time < minT) {
+				minT, has = v.Time, true
+			}
+		}
+		if !has {
+			break
+		}
+		if endTime > 0 && minT >= endTime {
+			break
+		}
+		if first {
+			T = des.WindowFloor(minT, L)
+			first = false
+		}
+		if minT >= T+L {
+			nt := des.WindowFloor(minT, L)
+			merge.Skip(nt - T)
+			T = nt
+		}
+		end := T + L
+
+		for w, conn := range workers {
+			if err := sendTo(conn, w, Frame{Type: MsgWindow, Payload: Window{Start: T, End: end}.Encode()}); err != nil {
+				return nil, err
+			}
+		}
+		outbox = outbox[:0]
+		for w, conn := range workers {
+			f, err := recvFrom(conn, w, opt.StepTimeout)
+			if err != nil {
+				return nil, err
+			}
+			if f.Type != MsgWindowDone {
+				return nil, &workerLost{worker: w, err: fmt.Errorf("expected WINDOW_DONE, got %s", f.Type)}
+			}
+			rep, err := DecodeWindowDone(f.Payload)
+			if err != nil {
+				return nil, &workerLost{worker: w, err: err}
+			}
+			reports[w] = rep
+			outbox = append(outbox, rep.Outbox...)
+		}
+		emu.SortWire(outbox)
+		if err := merge.CommitWindow(T, end, reports); err != nil {
+			return nil, err
+		}
+		virtT = T
+		if end >= nextCkpt {
+			for w, conn := range workers {
+				if err := sendTo(conn, w, Frame{Type: MsgCheckpoint, Payload: CheckpointMsg{At: end}.Encode()}); err != nil {
+					return nil, err
+				}
+			}
+			for w, conn := range workers {
+				f, err := recvFrom(conn, w, opt.StepTimeout)
+				if err != nil {
+					return nil, err
+				}
+				if f.Type != MsgCheckpointAck {
+					return nil, &workerLost{worker: w, err: fmt.Errorf("expected CHECKPOINT_ACK, got %s", f.Type)}
+				}
+			}
+			for nextCkpt <= end {
+				nextCkpt += opt.CheckpointEvery
+			}
+		}
+		T = end
+	}
+
+	// Finish: collect final states, release workers, assemble the Result.
+	states := make([]*emu.DistState, W)
+	for w, conn := range workers {
+		if err := sendTo(conn, w, Frame{Type: MsgFinish}); err != nil {
+			return nil, err
+		}
+	}
+	for w, conn := range workers {
+		f, err := recvFrom(conn, w, opt.StepTimeout)
+		if err != nil {
+			return nil, err
+		}
+		if f.Type != MsgState {
+			return nil, &workerLost{worker: w, err: fmt.Errorf("expected STATE, got %s", f.Type)}
+		}
+		st, err := DecodeState(f.Payload)
+		if err != nil {
+			return nil, &workerLost{worker: w, err: err}
+		}
+		states[w] = st
+	}
+	for w, conn := range workers {
+		if err := sendTo(conn, w, Frame{Type: MsgBye}); err != nil {
+			return nil, err
+		}
+	}
+	opt.logf("dist: run complete, merging %d final states", W)
+	return merge.Finalize(states, time.Since(start))
+}
+
+// fallback re-runs the scenario in-process with the lost worker's engines
+// fail-stopped at the loss time, letting the standard checkpoint/rollback/
+// remap machinery absorb the loss deterministically.
+func fallback(spec *RunSpec, lost *workerLost, W int, opt *Options) (*emu.Result, error) {
+	cfg := spec.Cfg
+	at := lost.at
+	if at <= 0 {
+		// Loss before the first window (handshake, spec shipping): any
+		// positive instant is detected at the first barrier.
+		at = math.SmallestNonzeroFloat64
+	}
+	sched := &faults.Schedule{}
+	for e := lost.worker; e < cfg.NumEngines; e += W {
+		sched.Crashes = append(sched.Crashes, faults.Crash{Engine: e, At: at})
+	}
+	cfg.Faults = sched
+	cfg.OnCrash = spec.OnWorkerLoss
+	cfg.CheckpointEvery = opt.CheckpointEvery
+	opts := append([]emu.Option(nil), spec.EmuOpts...)
+	if spec.Telemetry != nil {
+		opts = append(opts, emu.WithTelemetry(spec.Telemetry))
+	}
+	return emu.Run(cfg, opts...)
+}
+
+func abortAll(workers []Conn, reason string) {
+	for _, c := range workers {
+		_ = c.Send(Frame{Type: MsgAbort, Payload: TextMsg{Text: reason}.Encode()})
+		_ = c.Close()
+	}
+}
+
+func sendTo(conn Conn, w int, f Frame) error {
+	if err := conn.Send(f); err != nil {
+		return &workerLost{worker: w, err: err}
+	}
+	return nil
+}
+
+// recvFrom reads one frame from a worker, converting transport failures and
+// worker-reported errors into workerLost.
+func recvFrom(conn Conn, w int, timeout time.Duration) (Frame, error) {
+	f, err := conn.Recv(timeout)
+	if err != nil {
+		return Frame{}, &workerLost{worker: w, err: err}
+	}
+	if f.Type == MsgError {
+		m, _ := DecodeText(f.Payload)
+		return Frame{}, &workerLost{worker: w, err: fmt.Errorf("worker reported: %s", m.Text)}
+	}
+	return f, nil
+}

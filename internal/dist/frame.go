@@ -1,0 +1,159 @@
+// Package dist is the distributed engine runtime: a coordinator/worker
+// protocol that runs each group of simulation engines as its own process,
+// connected over TCP (or an in-process loopback for tests), while keeping
+// results byte-identical to the in-process emu.Run path.
+//
+// The protocol is a straight serialization of the conservative kernel's
+// window loop (§2.2.3 of the paper):
+//
+//	worker                         coordinator
+//	HELLO          ──────────────▶
+//	               ◀────────────── ASSIGN (scenario spec + engines + hash)
+//	READY (hash)   ──────────────▶
+//	loop:
+//	               ◀────────────── EVENTS (barrier-merged events, may be empty)
+//	VOTE (min t)   ──────────────▶
+//	               ◀────────────── WINDOW [T, T+L)
+//	WINDOW_DONE    ──────────────▶  (counters, outbox, telemetry share)
+//	               ◀────────────── CHECKPOINT (at cadence) / FINISH / ABORT
+//	STATE (final)  ──────────────▶
+//	               ◀────────────── BYE
+//
+// Every frame is a uint32 length prefix followed by a one-byte message type
+// and a binary payload; floats travel as raw IEEE-754 bits so no value is
+// ever perturbed by a text round-trip.
+package dist
+
+import (
+	"fmt"
+	"io"
+
+	"encoding/binary"
+)
+
+// Version is the protocol version; HELLO/ASSIGN carry it and any mismatch
+// aborts the handshake.
+const Version = 1
+
+// MaxFrame bounds a frame's payload (type byte included). It is sized for
+// the largest legitimate message — a full telemetry slow-state partial on a
+// large topology — while keeping a corrupt or hostile length prefix from
+// driving an unbounded allocation.
+const MaxFrame = 64 << 20
+
+// MsgType identifies a frame's payload.
+type MsgType uint8
+
+const (
+	// MsgHello opens a worker connection (payload: version).
+	MsgHello MsgType = iota + 1
+	// MsgAssign ships the scenario spec, the worker's engine set and the
+	// spec hash.
+	MsgAssign
+	// MsgReady acknowledges ASSIGN with the worker's independently computed
+	// spec hash and lookahead.
+	MsgReady
+	// MsgEvents delivers barrier-merged events and requests a vote.
+	MsgEvents
+	// MsgVote answers with the worker's earliest pending event time.
+	MsgVote
+	// MsgWindow commands execution of one window [start, end).
+	MsgWindow
+	// MsgWindowDone reports a window's counters, outbox and telemetry.
+	MsgWindowDone
+	// MsgCheckpoint commands a local snapshot at a barrier; MsgCheckpointAck
+	// confirms it.
+	MsgCheckpoint
+	MsgCheckpointAck
+	// MsgFinish ends the run; the worker answers with MsgState.
+	MsgFinish
+	MsgState
+	// MsgError reports a worker-side run error (poisoned run, bad event).
+	MsgError
+	// MsgAbort tells a worker to stop immediately (coordinator shutdown,
+	// peer loss, cancellation).
+	MsgAbort
+	// MsgBye releases the worker after a successful run.
+	MsgBye
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "HELLO"
+	case MsgAssign:
+		return "ASSIGN"
+	case MsgReady:
+		return "READY"
+	case MsgEvents:
+		return "EVENTS"
+	case MsgVote:
+		return "VOTE"
+	case MsgWindow:
+		return "WINDOW"
+	case MsgWindowDone:
+		return "WINDOW_DONE"
+	case MsgCheckpoint:
+		return "CHECKPOINT"
+	case MsgCheckpointAck:
+		return "CHECKPOINT_ACK"
+	case MsgFinish:
+		return "FINISH"
+	case MsgState:
+		return "STATE"
+	case MsgError:
+		return "ERROR"
+	case MsgAbort:
+		return "ABORT"
+	case MsgBye:
+		return "BYE"
+	}
+	return fmt.Sprintf("MsgType(%d)", uint8(t))
+}
+
+// Frame is one length-delimited protocol message.
+type Frame struct {
+	Type    MsgType
+	Payload []byte
+}
+
+// WriteFrame writes one frame: uint32 little-endian length (type byte +
+// payload), then the type byte, then the payload.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload)+1 > MaxFrame {
+		return fmt.Errorf("dist: frame %s payload %d bytes exceeds MaxFrame %d", f.Type, len(f.Payload), MaxFrame)
+	}
+	var hdr [5]byte
+	binary.LittleEndian.PutUint32(hdr[:4], uint32(len(f.Payload)+1))
+	hdr[4] = byte(f.Type)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if len(f.Payload) > 0 {
+		if _, err := w.Write(f.Payload); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadFrame reads one frame, rejecting empty frames and length prefixes
+// beyond MaxFrame before allocating anything.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return Frame{}, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n == 0 {
+		return Frame{}, fmt.Errorf("dist: empty frame")
+	}
+	if n > MaxFrame {
+		return Frame{}, fmt.Errorf("dist: frame length %d exceeds MaxFrame %d", n, MaxFrame)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return Frame{}, fmt.Errorf("dist: truncated frame (%d of %d bytes): %w", 0, n, err)
+	}
+	return Frame{Type: MsgType(body[0]), Payload: body[1:]}, nil
+}

@@ -1,0 +1,212 @@
+package dist
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/telemetry"
+
+	"repro/internal/emu"
+)
+
+// WorkerOptions tunes the worker side of the protocol.
+type WorkerOptions struct {
+	// IdleTimeout bounds each wait for a coordinator command; a coordinator
+	// that goes silent longer than this fails the worker instead of wedging
+	// it. <= 0 selects the default.
+	IdleTimeout time.Duration
+	// Logf, when set, receives one line per protocol phase.
+	Logf func(format string, args ...any)
+}
+
+// DefaultIdleTimeout is how long a worker waits for the next coordinator
+// command before giving up.
+const DefaultIdleTimeout = 2 * time.Minute
+
+func (o *WorkerOptions) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// DialAndServe connects to a coordinator (retrying with backoff until ctx
+// expires, so start order does not matter) and serves one run.
+func DialAndServe(ctx context.Context, addr string, opt WorkerOptions) error {
+	conn, err := Dial(ctx, addr)
+	if err != nil {
+		return err
+	}
+	defer conn.Close()
+	return Serve(ctx, conn, opt)
+}
+
+// Serve runs the worker side of one run over an established connection. It
+// returns nil after a clean BYE; any protocol, transport or simulation error
+// is reported to the coordinator (best effort) and returned.
+func Serve(ctx context.Context, conn Conn, opt WorkerOptions) error {
+	if opt.IdleTimeout <= 0 {
+		opt.IdleTimeout = DefaultIdleTimeout
+	}
+	err := serve(ctx, conn, &opt)
+	if err != nil {
+		// Best-effort: tell the coordinator why this worker is going away so
+		// it can degrade immediately instead of waiting out a deadline.
+		_ = conn.Send(Frame{Type: MsgError, Payload: TextMsg{Text: err.Error()}.Encode()})
+	}
+	return err
+}
+
+func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
+	if err := conn.Send(Frame{Type: MsgHello, Payload: Hello{Version: Version}.Encode()}); err != nil {
+		return err
+	}
+	f, err := recvCtx(ctx, conn, opt.IdleTimeout)
+	if err != nil {
+		return err
+	}
+	if f.Type != MsgAssign {
+		return fmt.Errorf("dist: worker expected ASSIGN, got %s", f.Type)
+	}
+	as, err := DecodeAssign(f.Payload)
+	if err != nil {
+		return err
+	}
+	if as.Version != Version {
+		return fmt.Errorf("dist: coordinator speaks protocol %d, this build speaks %d", as.Version, Version)
+	}
+	spec, err := DecodeSpec(as.Spec)
+	if err != nil {
+		return err
+	}
+	// Re-encode the rebuilt scenario and hash it: this catches transport
+	// corruption and — more importantly — any drift between the coordinator's
+	// scenario and the one this process reconstructed, before a single event
+	// runs on a wrong topology.
+	reblob, err := EncodeSpec(spec)
+	if err != nil {
+		return fmt.Errorf("dist: re-encoding rebuilt spec: %w", err)
+	}
+	hash := SpecHash(reblob)
+	if !bytes.Equal(reblob, as.Spec) || hash != as.Hash {
+		return fmt.Errorf("dist: rebuilt scenario does not round-trip to the shipped spec (hash mismatch)")
+	}
+	var tel *telemetry.Collector
+	if spec.Telemetry {
+		tel = telemetry.New()
+	}
+	local, err := emu.NewDistLocal(spec.Cfg, as.Engines, tel)
+	if err != nil {
+		return err
+	}
+	opt.logf("dist: worker %d/%d ready, engines %v, lookahead %g",
+		as.WorkerID, as.Workers, as.Engines, local.Lookahead())
+	if err := conn.Send(Frame{Type: MsgReady, Payload: Ready{Hash: hash, Lookahead: local.Lookahead()}.Encode()}); err != nil {
+		return err
+	}
+
+	for {
+		f, err := recvCtx(ctx, conn, opt.IdleTimeout)
+		if err != nil {
+			return err
+		}
+		switch f.Type {
+		case MsgEvents:
+			evs, err := DecodeEvents(f.Payload)
+			if err != nil {
+				return err
+			}
+			if err := local.Inject(evs); err != nil {
+				return err
+			}
+			t, has := local.Vote()
+			if err := conn.Send(Frame{Type: MsgVote, Payload: Vote{Has: has, Time: t}.Encode()}); err != nil {
+				return err
+			}
+		case MsgWindow:
+			w, err := DecodeWindow(f.Payload)
+			if err != nil {
+				return err
+			}
+			rep, err := local.Step(w.Start, w.End)
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(Frame{Type: MsgWindowDone, Payload: EncodeWindowDone(rep)}); err != nil {
+				return err
+			}
+		case MsgCheckpoint:
+			cp, err := DecodeCheckpoint(f.Payload)
+			if err != nil {
+				return err
+			}
+			n := local.Checkpoint(cp.At)
+			if err := conn.Send(Frame{Type: MsgCheckpointAck, Payload: CheckpointAck{Count: int64(n)}.Encode()}); err != nil {
+				return err
+			}
+		case MsgFinish:
+			st := local.Final()
+			if err := conn.Send(Frame{Type: MsgState, Payload: EncodeState(st)}); err != nil {
+				return err
+			}
+			f, err := recvCtx(ctx, conn, opt.IdleTimeout)
+			if err != nil {
+				return err
+			}
+			if f.Type != MsgBye {
+				return fmt.Errorf("dist: worker expected BYE, got %s", f.Type)
+			}
+			opt.logf("dist: worker %d done", as.WorkerID)
+			return nil
+		case MsgAbort:
+			m, _ := DecodeText(f.Payload)
+			return fmt.Errorf("dist: aborted by coordinator: %s", m.Text)
+		default:
+			return fmt.Errorf("dist: worker got unexpected %s", f.Type)
+		}
+	}
+}
+
+// recvCtx is Recv bounded by both the idle timeout and the context — a
+// canceled context (SIGINT drain) interrupts the wait at the next slice.
+func recvCtx(ctx context.Context, conn Conn, idle time.Duration) (Frame, error) {
+	deadline := time.Now().Add(idle)
+	for {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return Frame{}, fmt.Errorf("dist: canceled: %w", err)
+			}
+		}
+		slice := time.Until(deadline)
+		if slice <= 0 {
+			return Frame{}, fmt.Errorf("dist: no command within %v", idle)
+		}
+		if ctx != nil && slice > time.Second {
+			slice = time.Second
+		}
+		f, err := conn.Recv(slice)
+		if err == nil {
+			return f, nil
+		}
+		if isTimeout(err) && time.Now().Before(deadline) {
+			continue
+		}
+		return Frame{}, err
+	}
+}
+
+func isTimeout(err error) bool {
+	type timeouter interface{ Timeout() bool }
+	for e := err; e != nil; {
+		if t, ok := e.(timeouter); ok {
+			return t.Timeout()
+		}
+		u, ok := e.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		e = u.Unwrap()
+	}
+	return false
+}

@@ -281,10 +281,55 @@ func Lookahead(nw *netgraph.Network, assignment []int, minLookahead float64) flo
 func Run(cfg Config, opts ...Option) (*Result, error) {
 	var o runOptions
 	o.apply(opts)
+	e, err := prepare(&cfg, &o)
+	if err != nil {
+		return nil, err
+	}
+
+	desCfg := e.kernelConfig()
+	desCfg.Observer = e.observe
+	desCfg.Recorder = e.rec
+	if o.ctx != nil || cfg.Faults.HasCrashes() {
+		// Cancellation is observed between windows, never mid-handler; the
+		// crash-injection hook target is installed by runResilient once the
+		// kernel exists, and the indirection keeps des.Config construction
+		// simple.
+		desCfg.OnBarrier = func(ws, we float64) error {
+			if e.ctx != nil {
+				if err := e.ctx.Err(); err != nil {
+					return fmt.Errorf("emu: run canceled at window [%g,%g): %w", ws, we, err)
+				}
+			}
+			if e.barrier != nil {
+				return e.barrier(ws, we)
+			}
+			return nil
+		}
+	}
+	kernel, err := des.New(desCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.seed(kernel, nil); err != nil {
+		return nil, err
+	}
+
+	stats, recovery, err := e.runResilient(kernel)
+	if err != nil {
+		return nil, err
+	}
+	return e.buildResult(stats, recovery), nil
+}
+
+// prepare validates cfg (applying defaults in place), resolves every flow's
+// route, and builds the emulation state an engine set shares — the setup half
+// of Run, reused verbatim by the distributed worker (DistLocal) and
+// coordinator (DistMerge) so all three construct bit-identical state.
+func prepare(cfg *Config, o *runOptions) (*emulation, error) {
 	if o.cost != nil {
 		cfg.Cost = *o.cost
 	}
-	if err := validate(&cfg); err != nil {
+	if err := validate(cfg); err != nil {
 		return nil, err
 	}
 	if o.ctx != nil {
@@ -385,10 +430,14 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		bucketCost[b] = make([]float64, cfg.NumEngines)
 	}
 	e := &emulation{
-		cfg:             &cfg,
+		cfg:             cfg,
 		ctx:             o.ctx,
 		rec:             rec,
+		runStats:        runStats,
 		nw:              nw,
+		flows:           flows,
+		duration:        duration,
+		lookahead:       lookahead,
 		assignment:      append([]int(nil), cfg.Assignment...),
 		busyUntil:       busyUntil,
 		linkBytes:       linkBytes,
@@ -406,51 +455,47 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		bucketSync:      make([]float64, buckets),
 		bucketBusyWidth: make([]float64, buckets),
 	}
+	return e, nil
+}
 
-	desCfg := des.Config{
-		NumLPs:     cfg.NumEngines,
-		Lookahead:  lookahead,
+// kernelConfig is the handler-and-width core of the kernel configuration;
+// Run layers the in-process observer and barrier hooks on top, while a
+// distributed worker runs it bare (the coordinator owns the barrier).
+func (e *emulation) kernelConfig() des.Config {
+	return des.Config{
+		NumLPs:     e.cfg.NumEngines,
+		Lookahead:  e.lookahead,
 		Handler:    e.handle,
-		Observer:   e.observe,
-		EndTime:    cfg.EndTime,
-		Sequential: cfg.Sequential,
-		Recorder:   rec,
+		EndTime:    e.cfg.EndTime,
+		Sequential: e.cfg.Sequential,
 	}
-	if o.ctx != nil || cfg.Faults.HasCrashes() {
-		// Cancellation is observed between windows, never mid-handler; the
-		// crash-injection hook target is installed by runResilient once the
-		// kernel exists, and the indirection keeps des.Config construction
-		// simple.
-		desCfg.OnBarrier = func(ws, we float64) error {
-			if e.ctx != nil {
-				if err := e.ctx.Err(); err != nil {
-					return fmt.Errorf("emu: run canceled at window [%g,%g): %w", ws, we, err)
-				}
-			}
-			if e.barrier != nil {
-				return e.barrier(ws, we)
-			}
-			return nil
-		}
-	}
-	kernel, err := des.New(desCfg)
-	if err != nil {
-		return nil, err
-	}
+}
 
-	for _, fr := range flows {
-		if cfg.EndTime > 0 && fr.start >= cfg.EndTime {
+// seed schedules every flow's start event. The per-LP sequence-number streams
+// depend only on the workload's flow order, so a worker seeding just its
+// local engines (local != nil) assigns exactly the numbers the in-process
+// run would.
+func (e *emulation) seed(kernel *des.Kernel, local []bool) error {
+	for _, fr := range e.flows {
+		if e.cfg.EndTime > 0 && fr.start >= e.cfg.EndTime {
 			continue
 		}
-		if err := kernel.Schedule(e.assignment[fr.src], fr.start, flowStart{flow: fr}); err != nil {
-			return nil, err
+		lp := e.assignment[fr.src]
+		if local != nil && !local[lp] {
+			continue
+		}
+		if err := kernel.Schedule(lp, fr.start, flowStart{flow: fr}); err != nil {
+			return err
 		}
 	}
+	return nil
+}
 
-	stats, recovery, err := e.runResilient(kernel)
-	if err != nil {
-		return nil, err
-	}
+// buildResult folds the time model and assembles the Result — the reporting
+// half of Run, shared with the distributed coordinator.
+func (e *emulation) buildResult(stats *des.Stats, recovery *Recovery) *Result {
+	cfg := e.cfg
+	buckets := e.buckets
 	e.tel.Finish(stats.VirtualEnd)
 
 	var appTime, netTime float64
@@ -485,7 +530,7 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		remoteTotal += r
 	}
 
-	linkTotals := make([]int64, len(nw.Links))
+	linkTotals := make([]int64, len(e.nw.Links))
 	var dropped int64
 	for l := range e.linkBytes {
 		linkTotals[l] = e.linkBytes[l][0] + e.linkBytes[l][1]
@@ -497,7 +542,7 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	}
 	return &Result{
 		Kernel:          stats,
-		Lookahead:       lookahead,
+		Lookahead:       e.lookahead,
 		EngineLoads:     loads,
 		Imbalance:       metrics.Imbalance(loads),
 		AppTime:         appTime,
@@ -511,9 +556,9 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 		DroppedPackets:  dropped,
 		FinalAssignment: append([]int(nil), e.assignment...),
 		Recovery:        recovery,
-		Obs:             runStats,
+		Obs:             e.runStats,
 		Telemetry:       telSnap,
-	}, nil
+	}
 }
 
 func validate(cfg *Config) error {
@@ -570,10 +615,18 @@ func validate(cfg *Config) error {
 // barrier-checkpoint snapshot; assignment itself only changes between kernel
 // segments during crash recovery.
 type emulation struct {
-	cfg        *Config
-	ctx        context.Context
-	rec        obs.Recorder
-	nw         *netgraph.Network
+	cfg      *Config
+	ctx      context.Context
+	rec      obs.Recorder
+	runStats *obs.RunStats
+	nw       *netgraph.Network
+	// flows, duration and lookahead are fixed at prepare time and shared
+	// read-only by every engine (and every worker process, which rebuilds
+	// them identically from the shipped scenario).
+	flows     []*flowRun
+	duration  float64
+	lookahead float64
+
 	assignment []int
 	busyUntil  [][2]float64
 	linkBytes  [][2]int64
@@ -650,7 +703,11 @@ func (e *emulation) handle(lp int, t float64, data any, s *des.Scheduler) {
 	case chunkArrival:
 		e.arrive(t, ev, s)
 	default:
-		panic(fmt.Sprintf("emu: unknown event payload %T", data))
+		// An unknown payload is a protocol error (e.g. a malformed event
+		// shipped by a remote peer), not a programming invariant worth dying
+		// for: poison the run the same way des handles lookahead violations,
+		// so a distributed worker survives and reports the error.
+		s.Fail(fmt.Errorf("%w: unknown event payload %T", ErrBadConfig, data))
 	}
 }
 

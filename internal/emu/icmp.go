@@ -136,7 +136,9 @@ func (tr *tracerouteRun) handle(lp int, t float64, data any, s *des.Scheduler) {
 	case icmpReply:
 		tr.handleReply(t, m, s)
 	default:
-		panic(fmt.Sprintf("emu: traceroute: unknown payload %T", data))
+		// Same contract as the main emulation handler: an unknown payload
+		// poisons the run instead of killing the process.
+		s.Fail(fmt.Errorf("%w: traceroute: unknown payload %T", ErrBadConfig, data))
 	}
 }
 

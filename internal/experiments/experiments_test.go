@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"math"
 	"os"
 	"runtime"
 	"strings"
@@ -476,5 +477,24 @@ func TestRunSuiteParallelTraceMatchesSerial(t *testing.T) {
 		if p != s {
 			t.Errorf("cell %d differs under parallel fan-out:\n  parallel: %+v\n  serial:   %+v", i, p, s)
 		}
+	}
+}
+
+// TestCrossFractionZeroTraffic: a cell that moved no bytes (an idle or
+// truncated run) must report a 0 cross-engine fraction, not NaN — NaN here
+// poisons grid renders and any mean over cells.
+func TestCrossFractionZeroTraffic(t *testing.T) {
+	c := Cell{CrossEngineBytes: 0, TotalBytes: 0}
+	f := c.CrossFraction()
+	if math.IsNaN(f) {
+		t.Fatal("zero-traffic cell produced NaN")
+	}
+	if f != 0 {
+		t.Fatalf("zero-traffic CrossFraction = %g, want 0", f)
+	}
+	// Sanity on the normal path.
+	c = Cell{CrossEngineBytes: 25, TotalBytes: 100}
+	if got := c.CrossFraction(); got != 0.25 {
+		t.Fatalf("CrossFraction = %g, want 0.25", got)
 	}
 }

@@ -23,9 +23,14 @@ type Histogram struct {
 	// Counts[i] is the number of observations in bucket i.
 	Counts []int64
 	// Count and Sum aggregate all observations (including clamped ones, at
-	// their true values).
+	// their true values). NaN observations are excluded from both.
 	Count int64
 	Sum   float64
+	// NaNCount counts NaN observations. They belong to no bucket — filing
+	// them into bucket 0 would skew the low quantiles, and adding them to Sum
+	// would poison the mean — so they are quarantined here and surfaced as
+	// their own series in the Prometheus exposition.
+	NaNCount int64
 
 	invLogG float64
 }
@@ -63,8 +68,9 @@ func MustLogHistogram(lo, hi float64, bucketsPerDecade int) *Histogram {
 }
 
 // bucketOf returns the bucket index for v, clamping out-of-range values.
+// NaN never reaches here (Observe diverts it to NaNCount).
 func (h *Histogram) bucketOf(v float64) int {
-	if v < h.Lo || math.IsNaN(v) {
+	if v < h.Lo {
 		return 0
 	}
 	b := int(math.Log(v/h.Lo) * h.invLogG)
@@ -77,8 +83,13 @@ func (h *Histogram) bucketOf(v float64) int {
 	return b
 }
 
-// Observe records one value. It never allocates.
+// Observe records one value. It never allocates. NaN values are counted in
+// NaNCount and touch neither the buckets nor Count/Sum.
 func (h *Histogram) Observe(v float64) {
+	if math.IsNaN(v) {
+		h.NaNCount++
+		return
+	}
 	h.Counts[h.bucketOf(v)]++
 	h.Count++
 	h.Sum += v
@@ -160,6 +171,7 @@ func (h *Histogram) Merge(o *Histogram) error {
 	}
 	h.Count += o.Count
 	h.Sum += o.Sum
+	h.NaNCount += o.NaNCount
 	return nil
 }
 
@@ -180,4 +192,5 @@ func (h *Histogram) ResetHistogram() {
 	}
 	h.Count = 0
 	h.Sum = 0
+	h.NaNCount = 0
 }

@@ -206,3 +206,55 @@ func TestHistogramObserveNoAlloc(t *testing.T) {
 		t.Errorf("Observe allocated %.1f times per run, want 0", allocs)
 	}
 }
+
+func TestHistogramNaNQuarantine(t *testing.T) {
+	h := MustLogHistogram(1e-3, 10, 5)
+	h.Observe(0.5)
+	h.Observe(math.NaN())
+	h.Observe(math.NaN())
+	if h.NaNCount != 2 {
+		t.Fatalf("NaNCount = %d, want 2", h.NaNCount)
+	}
+	// NaN observations touch neither the buckets nor Count/Sum: the mean and
+	// quantiles stay those of the real observations instead of silently
+	// poisoning (Sum would become NaN) or skewing low (bucket-0 filing).
+	var bucketed int64
+	for _, c := range h.Counts {
+		bucketed += c
+	}
+	if bucketed != 1 || h.Count != 1 {
+		t.Fatalf("NaN leaked into buckets: bucketed=%d count=%d", bucketed, h.Count)
+	}
+	if math.IsNaN(h.Sum) || h.Mean() != 0.5 {
+		t.Fatalf("NaN poisoned the aggregates: sum=%g mean=%g", h.Sum, h.Mean())
+	}
+	if q := h.Quantile(99); math.IsNaN(q) {
+		t.Fatal("NaN poisoned the quantiles")
+	}
+}
+
+func TestHistogramNaNCountMergeCloneReset(t *testing.T) {
+	h := MustLogHistogram(1e-3, 10, 5)
+	h.Observe(math.NaN())
+	o := MustLogHistogram(1e-3, 10, 5)
+	o.Observe(math.NaN())
+	o.Observe(math.NaN())
+	o.Observe(1)
+	if err := h.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if h.NaNCount != 3 || h.Count != 1 {
+		t.Fatalf("merge: nan=%d count=%d, want 3/1", h.NaNCount, h.Count)
+	}
+	cp := h.CloneHistogram()
+	if cp.NaNCount != 3 {
+		t.Fatalf("clone dropped NaNCount: %d", cp.NaNCount)
+	}
+	h.ResetHistogram()
+	if h.NaNCount != 0 {
+		t.Fatalf("reset kept NaNCount: %d", h.NaNCount)
+	}
+	if cp.NaNCount != 3 {
+		t.Fatal("reset of the original mutated the clone")
+	}
+}

@@ -1,0 +1,178 @@
+package telemetry
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Distributed telemetry merge. Under the dist runtime each worker process
+// owns a disjoint set of engines and, by the collector's single-writer
+// discipline, a disjoint set of hot slots: matrix rows of its engines, tx/rx
+// slots of links whose transmitting/receiving endpoint it hosts, node slots
+// and series columns of its nodes, and the per-engine histograms/counters of
+// its engines. Every non-owned slot stays zero for the whole run, so the
+// coordinator reconstructs the exact in-process hot state by copying each
+// worker's matrix rows and per-engine instruments and summing the full
+// link/node arrays elementwise. The coordinator then drives Commit/Finish
+// itself (replaying the window observer), so the published snapshots,
+// timeline and /metrics exposition are byte-identical to an in-process run.
+
+// Partial is one worker's share of the hot telemetry state, exported at a
+// window barrier with its engines quiesced. All fields are value data —
+// safe to encode onto a wire.
+type Partial struct {
+	// Engines lists the engines this worker owns, ascending.
+	Engines []int
+	// MatrixBytes/MatrixPackets hold one cumulative row per owned engine
+	// (len(Engines)×Engines, row-major, same order as Engines).
+	MatrixBytes   []int64
+	MatrixPackets []int64
+
+	// HasSlow marks that the slow-cadence state below is populated; workers
+	// ship it only at measurement-window crossings and at the end of the run.
+	HasSlow bool
+	// LinkTxBytes/LinkTxPackets/LinkRxPackets are the full 2×links arrays
+	// (non-owned slots zero); NodePackets and SeriesLoads likewise cover all
+	// nodes.
+	LinkTxBytes   []int64
+	LinkTxPackets []int64
+	LinkRxPackets []int64
+	NodePackets   []int64
+	SeriesLoads   [][]float64
+	// QueueDelay and FCT are the owned engines' histograms (same order as
+	// Engines); FlowsDone and Drops their counters.
+	QueueDelay []*metrics.Histogram
+	FCT        []*metrics.Histogram
+	FlowsDone  []int64
+	Drops      []int64
+}
+
+// NewRunHistogram returns an empty histogram with the run layout (the one
+// every per-engine instrument uses) — the wire codec rebuilds received
+// histograms onto it.
+func NewRunHistogram() *metrics.Histogram {
+	return metrics.MustLogHistogram(histLo, histHi, histPerDecade)
+}
+
+// ExportPartial captures this collector's share of the hot state for the
+// given owned engines. Call it at a window barrier with the engines
+// quiesced. slow selects whether the slow-cadence state rides along.
+func (c *Collector) ExportPartial(engines []int, slow bool) *Partial {
+	if c == nil {
+		return nil
+	}
+	e := c.dims.Engines
+	p := &Partial{
+		Engines:       append([]int(nil), engines...),
+		MatrixBytes:   make([]int64, 0, len(engines)*e),
+		MatrixPackets: make([]int64, 0, len(engines)*e),
+	}
+	for _, eng := range engines {
+		p.MatrixBytes = append(p.MatrixBytes, c.matrixBytes[eng*e:(eng+1)*e]...)
+		p.MatrixPackets = append(p.MatrixPackets, c.matrixPackets[eng*e:(eng+1)*e]...)
+	}
+	if !slow {
+		return p
+	}
+	p.HasSlow = true
+	p.LinkTxBytes = append([]int64(nil), c.linkTxBytes...)
+	p.LinkTxPackets = append([]int64(nil), c.linkTxPackets...)
+	p.LinkRxPackets = append([]int64(nil), c.linkRxPackets...)
+	p.NodePackets = append([]int64(nil), c.nodePackets...)
+	p.SeriesLoads = c.series.Clone().Loads
+	for _, eng := range engines {
+		p.QueueDelay = append(p.QueueDelay, c.queueDelay[eng].CloneHistogram())
+		p.FCT = append(p.FCT, c.fct[eng].CloneHistogram())
+		p.FlowsDone = append(p.FlowsDone, c.flowsDone[eng])
+		p.Drops = append(p.Drops, c.drops[eng])
+	}
+	return p
+}
+
+// InstallPartials overwrites the collector's hot state from the workers'
+// latest partials (one per worker; together they must cover every engine
+// exactly once). Matrix rows install every call; the slow-cadence arrays are
+// rebuilt only when the partials carry them. The caller is the coordinator
+// at a barrier — no engine goroutines are running — and must follow up with
+// Commit (or Finish) to republish, exactly as the in-process observer would.
+func (c *Collector) InstallPartials(ps []*Partial) error {
+	if c == nil {
+		return nil
+	}
+	e := c.dims.Engines
+	slow := false
+	for _, p := range ps {
+		if p == nil {
+			continue
+		}
+		if len(p.MatrixBytes) != len(p.Engines)*e || len(p.MatrixPackets) != len(p.Engines)*e {
+			return fmt.Errorf("telemetry: partial matrix rows %d for %d engines (want %d cols)",
+				len(p.MatrixBytes), len(p.Engines), e)
+		}
+		for i, eng := range p.Engines {
+			if eng < 0 || eng >= e {
+				return fmt.Errorf("telemetry: partial owns invalid engine %d", eng)
+			}
+			copy(c.matrixBytes[eng*e:(eng+1)*e], p.MatrixBytes[i*e:(i+1)*e])
+			copy(c.matrixPackets[eng*e:(eng+1)*e], p.MatrixPackets[i*e:(i+1)*e])
+		}
+		if p.HasSlow {
+			slow = true
+		}
+	}
+	if !slow {
+		return nil
+	}
+	zero64(c.linkTxBytes)
+	zero64(c.linkTxPackets)
+	zero64(c.linkRxPackets)
+	zero64(c.nodePackets)
+	for _, row := range c.series.Loads {
+		for i := range row {
+			row[i] = 0
+		}
+	}
+	for _, p := range ps {
+		if p == nil || !p.HasSlow {
+			continue
+		}
+		if len(p.LinkTxBytes) != len(c.linkTxBytes) || len(p.NodePackets) != len(c.nodePackets) ||
+			len(p.SeriesLoads) != len(c.series.Loads) {
+			return fmt.Errorf("telemetry: partial slow-state dims do not match the run")
+		}
+		add64(c.linkTxBytes, p.LinkTxBytes)
+		add64(c.linkTxPackets, p.LinkTxPackets)
+		add64(c.linkRxPackets, p.LinkRxPackets)
+		add64(c.nodePackets, p.NodePackets)
+		for b, row := range p.SeriesLoads {
+			dst := c.series.Loads[b]
+			for i, v := range row {
+				dst[i] += v
+			}
+		}
+		if len(p.QueueDelay) != len(p.Engines) || len(p.FCT) != len(p.Engines) ||
+			len(p.FlowsDone) != len(p.Engines) || len(p.Drops) != len(p.Engines) {
+			return fmt.Errorf("telemetry: partial instruments do not match its engine set")
+		}
+		for i, eng := range p.Engines {
+			c.queueDelay[eng] = p.QueueDelay[i].CloneHistogram()
+			c.fct[eng] = p.FCT[i].CloneHistogram()
+			c.flowsDone[eng] = p.FlowsDone[i]
+			c.drops[eng] = p.Drops[i]
+		}
+	}
+	return nil
+}
+
+func zero64(xs []int64) {
+	for i := range xs {
+		xs[i] = 0
+	}
+}
+
+func add64(dst, src []int64) {
+	for i, v := range src {
+		dst[i] += v
+	}
+}

@@ -234,9 +234,19 @@ func writeHistogram(w io.Writer, name string, sv *seriesVal) error {
 	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(sv.labels, "+Inf"), count); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
-		name, sv.labels, fmtFloat(sum), name, sv.labels, count)
-	return err
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n%s_count%s %d\n",
+		name, sv.labels, fmtFloat(sum), name, sv.labels, count); err != nil {
+		return err
+	}
+	// NaN observations live outside the buckets (they have no magnitude);
+	// surface them as their own counter series only when any occurred, so
+	// healthy runs keep a byte-stable exposition.
+	if h != nil && h.NaNCount > 0 {
+		if _, err := fmt.Fprintf(w, "%s_nan_count%s %d\n", name, sv.labels, h.NaNCount); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // withLE splices an le label into a rendered label set.

@@ -1,6 +1,9 @@
 package telemetry
 
 import (
+	"bytes"
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -270,5 +273,122 @@ func TestRegistryReuseSameHandle(t *testing.T) {
 	b.Add(3)
 	if got := a.Get(); got != 5 {
 		t.Fatalf("re-registered handle diverged: %g", got)
+	}
+}
+
+func TestExpositionReportsNaNObservations(t *testing.T) {
+	c := sizedCollector()
+	c.ObserveFlowComplete(1, math.NaN())
+	c.ObserveFlowComplete(1, 0.25)
+	c.Commit(0, 2.5, []int64{8, 4})
+	c.Finish(8)
+
+	var b strings.Builder
+	if err := c.Metrics().WriteExposition(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	// The NaN is quarantined — surfaced as its own series, excluded from the
+	// real count so the mean/quantiles stay honest.
+	for _, want := range []string{
+		"massf_flow_completion_seconds_nan_count 1",
+		"massf_flow_completion_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n----\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "massf_queue_delay_seconds_nan_count") {
+		t.Error("_nan_count emitted for a histogram that never saw NaN")
+	}
+
+	// Golden stability: a clean collector must not grow _nan_count lines.
+	clean := sizedCollector()
+	clean.ObserveFlowComplete(1, 0.25)
+	clean.Commit(0, 2.5, []int64{8, 4})
+	clean.Finish(8)
+	var cb strings.Builder
+	if err := clean.Metrics().WriteExposition(&cb); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(cb.String(), "_nan_count") {
+		t.Error("NaN-free run emitted _nan_count series")
+	}
+}
+
+// TestPartialExportInstallEquivalence is the distributed-telemetry contract:
+// two workers with disjoint engines, merged via ExportPartial/InstallPartials
+// on a coordinator, must publish the identical snapshot and exposition as one
+// collector that saw every observation locally.
+func TestPartialExportInstallEquivalence(t *testing.T) {
+	observeEngine0 := func(c *Collector) {
+		c.ObserveForward(0, 1, 0, 0, 1000, 2, 0.5e-3) // engine 0's matrix row + link 0 tx
+		c.ObserveNode(0, 0, 1, 2, 0.5)
+		c.ObserveFlowComplete(0, 0.125)
+		c.ObserveDrop(0, 1)
+	}
+	observeEngine1 := func(c *Collector) {
+		c.ObserveForward(1, 0, 1, 1, 500, 1, 0.25e-3)
+		c.ObserveNode(2, 1, 0, 1, 1.5)
+		c.ObserveFlowComplete(1, 0.5)
+	}
+	charges := []int64{8, 4}
+
+	// Reference: one collector sees everything.
+	ref := sizedCollector()
+	observeEngine0(ref)
+	observeEngine1(ref)
+	ref.Commit(0, 2.5, charges)
+	ref.Finish(8)
+
+	// Distributed: each worker only its own engines, never committing.
+	w0 := sizedCollector()
+	observeEngine0(w0)
+	w1 := sizedCollector()
+	observeEngine1(w1)
+	coord := sizedCollector()
+	if err := coord.InstallPartials([]*Partial{
+		w0.ExportPartial([]int{0}, true),
+		w1.ExportPartial([]int{1}, true),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	coord.Commit(0, 2.5, charges)
+	coord.Finish(8)
+
+	wantSnap, err := json.Marshal(ref.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotSnap, err := json.Marshal(coord.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wantSnap, gotSnap) {
+		t.Fatalf("merged snapshot diverges:\nwant %s\n got %s", wantSnap, gotSnap)
+	}
+
+	var wantExp, gotExp strings.Builder
+	if err := ref.Metrics().WriteExposition(&wantExp); err != nil {
+		t.Fatal(err)
+	}
+	if err := coord.Metrics().WriteExposition(&gotExp); err != nil {
+		t.Fatal(err)
+	}
+	if wantExp.String() != gotExp.String() {
+		t.Fatal("merged exposition diverges from the single-collector run")
+	}
+}
+
+func TestInstallPartialsRejectsBadShapes(t *testing.T) {
+	c := sizedCollector()
+	if err := c.InstallPartials([]*Partial{{Engines: []int{5}, MatrixBytes: make([]int64, 2), MatrixPackets: make([]int64, 2)}}); err == nil {
+		t.Fatal("out-of-range engine must be rejected")
+	}
+	if err := c.InstallPartials([]*Partial{{Engines: []int{0}, MatrixBytes: make([]int64, 1), MatrixPackets: make([]int64, 1)}}); err == nil {
+		t.Fatal("short matrix row must be rejected")
+	}
+	if err := c.InstallPartials([]*Partial{nil}); err != nil {
+		t.Fatalf("nil partial must be skipped, got %v", err)
 	}
 }
