@@ -31,6 +31,13 @@
 // exposition and the live /trafficmatrix JSON (plus pprof and expvar) while
 // runs are in flight, and -matrix-out FILE writes each run's final traffic
 // matrix snapshot as JSON (suffixed .<approach> when -approach all).
+//
+// Elastic membership: -coordinator ADDR -workers N -approach TOP -elastic
+// keeps the listener open after the run starts — late workers join at the
+// next checkpoint barrier, a worker's Ctrl-C drains it gracefully, and a
+// killed worker is detected (add -hb-interval 500ms for liveness pings) and
+// recovered by checkpoint replay. -capacity raises the engine ceiling so
+// joiners beyond the topology's default engine count have slots to fill.
 package main
 
 import (
@@ -79,7 +86,7 @@ func main() {
 		record    = flag.String("record", "", "write the generated workload trace to this file")
 		replay    = flag.String("replay", "", "emulate a previously recorded workload trace instead of generating traffic")
 
-		checkpoint = flag.Float64("checkpoint", 10, "barrier-checkpoint interval in virtual seconds (with crash faults)")
+		checkpoint = flag.Float64("checkpoint", 10, "barrier-checkpoint interval in virtual seconds (crash faults and distributed runs; membership changes apply at these barriers)")
 		naive      = flag.Bool("naive-recovery", false, "recover crashes by dumping onto one survivor instead of remapping")
 
 		stats     = flag.Bool("stats", false, "print the kernel's aggregated observability counters per run")
@@ -93,6 +100,11 @@ func main() {
 		coordAddr  = flag.String("coordinator", "", "run as the distributed coordinator: listen on this address for workers")
 		workers    = flag.Int("workers", 0, "number of worker connections to wait for (with -coordinator)")
 		resultOut  = flag.String("result-out", "", "write the run's canonical result JSON to this file (.<approach> suffix with -approach all)")
+
+		elastic    = flag.Bool("elastic", false, "elastic membership: keep listening for joiners mid-run; workers may drain (Ctrl-C) or die (TOP only)")
+		capacity   = flag.Int("capacity", 0, "engine capacity for -elastic (max workers × engines-per-worker; default: the topology's engine count)")
+		hbInterval = flag.Duration("hb-interval", 0, "heartbeat interval for liveness detection (0 disables; with -coordinator)")
+		hbMisses   = flag.Int("hb-misses", 3, "consecutive missed heartbeats before a worker is declared dead")
 	)
 	var faultSpecs multiFlag
 	flag.Var(&faultSpecs, "fault", "fault spec (crash:E@T | slow:E@T1-T2xF | degrade@T1-T2xF); repeatable")
@@ -117,21 +129,35 @@ func main() {
 		workers:     *workers,
 		resultOut:   *resultOut,
 		faults:      len(faultSpecs) > 0,
+		elastic:     *elastic,
+		capacity:    *capacity,
 	}); err != nil {
 		fatal(err)
 	}
 
 	if *workerAddr != "" {
 		// Worker mode: no local scenario — the coordinator ships the full
-		// normalized spec over the wire. Ctrl-C drains gracefully between
-		// receive slices.
-		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
-		defer stop()
+		// normalized spec over the wire. The first Ctrl-C requests a graceful
+		// drain (the coordinator migrates this worker's state away at the next
+		// checkpoint barrier); a second Ctrl-C aborts hard.
+		ctx, cancel := context.WithCancel(context.Background())
+		defer cancel()
 		logf := func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, "worker: "+format+"\n", args...)
 		}
+		drain := make(chan struct{})
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt)
+		defer signal.Stop(sig)
+		go func() {
+			<-sig
+			logf("interrupt: draining at the next checkpoint barrier (interrupt again to abort)")
+			close(drain)
+			<-sig
+			cancel()
+		}()
 		logf("dialing coordinator at %s", *workerAddr)
-		if err := dist.DialAndServe(ctx, *workerAddr, dist.WorkerOptions{Logf: logf}); err != nil {
+		if err := dist.DialAndServe(ctx, *workerAddr, dist.WorkerOptions{Logf: logf, Drain: drain}); err != nil {
 			fatal(fmt.Errorf("worker: %w", err))
 		}
 		logf("run complete")
@@ -229,6 +255,7 @@ func main() {
 	defer stop()
 
 	var workerConns []dist.Conn
+	var joins chan dist.Conn
 	if *coordAddr != "" {
 		l, err := dist.Listen(*coordAddr)
 		if err != nil {
@@ -244,7 +271,33 @@ func main() {
 			workerConns = append(workerConns, c)
 			fmt.Fprintf(os.Stderr, "coordinator: worker %d/%d connected (%s)\n", i+1, *workers, c.Label())
 		}
-		l.Close()
+		if *elastic {
+			// Keep the listener open: late arrivals become joiners, admitted
+			// at the next checkpoint barrier. The accept loop dies with the
+			// run context (Accept closes the listener on cancellation).
+			joins = make(chan dist.Conn, 4)
+			if *capacity > 0 {
+				sc.Engines = *capacity
+			}
+			go func() {
+				defer l.Close()
+				for {
+					c, err := dist.Accept(ctx, l)
+					if err != nil {
+						return
+					}
+					fmt.Fprintf(os.Stderr, "coordinator: joiner connected (%s)\n", c.Label())
+					select {
+					case joins <- c:
+					case <-ctx.Done():
+						c.Close()
+						return
+					}
+				}
+			}()
+		} else {
+			l.Close()
+		}
 	}
 
 	sc.CollectStats = *stats
@@ -302,13 +355,22 @@ func main() {
 
 		start := time.Now()
 		var o *core.Outcome
+		var mlog *dist.MembershipLog
 		if workerConns != nil {
+			logf := func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "coordinator: "+format+"\n", args...)
+			}
 			var err error
-			o, err = sc.RunDistributed(ctx, a, workerConns, dist.Options{
-				Logf: func(format string, args ...any) {
-					fmt.Fprintf(os.Stderr, "coordinator: "+format+"\n", args...)
-				},
-			})
+			if *elastic {
+				o, mlog, err = sc.RunElastic(ctx, workerConns, dist.ElasticOptions{
+					Options:           dist.Options{Logf: logf, CheckpointEvery: *checkpoint},
+					Joins:             joins,
+					HeartbeatInterval: *hbInterval,
+					HeartbeatMisses:   *hbMisses,
+				})
+			} else {
+				o, err = sc.RunDistributed(ctx, a, workerConns, dist.Options{Logf: logf})
+			}
 			if err != nil {
 				fatal(fmt.Errorf("%s: %w", a, err))
 			}
@@ -355,6 +417,13 @@ func main() {
 		}
 		if *stats && r.Obs != nil {
 			fmt.Printf("         kernel: %s\n", r.Obs)
+		}
+		if mlog != nil && (len(mlog.Resizes) > 0 || len(mlog.Losses) > 0) {
+			fmt.Printf("         membership: %d resize(s), %d worker loss(es)\n",
+				len(mlog.Resizes), len(mlog.Losses))
+			for _, rz := range mlog.Resizes {
+				fmt.Printf("           t=%.2f -> %d engine(s) %v\n", rz.At, len(rz.Engines), rz.Engines)
+			}
 		}
 		if rec := r.Recovery; rec != nil {
 			fmt.Printf("         recovery: %d crash(es) %v, %d checkpoint(s), downtime %.3fs, "+
@@ -418,6 +487,8 @@ type cliFlags struct {
 	workers                int
 	resultOut              string
 	faults                 bool
+	elastic                bool
+	capacity               int
 }
 
 // Flag-combination errors — typed so callers (and tests) can match them with
@@ -436,6 +507,9 @@ var (
 	errCoordinatorFaults  = errors.New("-coordinator cannot combine with -fault (worker loss is the distributed fault path)")
 	errCoordinatorWorkers = errors.New("-coordinator requires -workers >= 1")
 	errWorkersNeedCoord   = errors.New("-workers only applies together with -coordinator")
+	errElasticNeedsCoord  = errors.New("-elastic only applies together with -coordinator")
+	errElasticTop         = errors.New("-elastic repartitions with the TOP mapper; use -approach TOP")
+	errCapacityElastic    = errors.New("-capacity only applies together with -elastic")
 )
 
 // validateFlags rejects contradictory flag combinations up front, before any
@@ -448,7 +522,7 @@ func validateFlags(f cliFlags) error {
 			f.coordinator != "", f.workers != 0, f.netfile != "", f.export != "",
 			f.topostats, f.record != "", f.replay != "", f.tracePath != "",
 			f.stats, f.metricsAddr != "", f.matrixOut != "", f.resultOut != "",
-			f.faults,
+			f.faults, f.elastic, f.capacity != 0,
 		}
 		for _, set := range others {
 			if set {
@@ -467,8 +541,16 @@ func validateFlags(f cliFlags) error {
 		if f.workers < 1 {
 			return errCoordinatorWorkers
 		}
+		if f.elastic && f.approach != string(mapping.Top) {
+			return errElasticTop
+		}
 	} else if f.workers != 0 {
 		return errWorkersNeedCoord
+	} else if f.elastic {
+		return errElasticNeedsCoord
+	}
+	if f.capacity != 0 && !f.elastic {
+		return errCapacityElastic
 	}
 	if f.duration <= 0 {
 		return fmt.Errorf("%w (got %g)", errBadDuration, f.duration)

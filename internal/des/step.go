@@ -71,16 +71,28 @@ func (k *Kernel) Stepper(local []int) (*Stepper, error) {
 		return nil, fmt.Errorf("des: Stepper needs at least one local LP")
 	}
 	n := k.cfg.NumLPs
+	// A restored kernel (Restore installed a checkpoint base) resumes its
+	// cumulative statistics, exactly as Run does — a reseated distributed
+	// worker must report run totals, not post-migration deltas.
+	stats := &Stats{
+		Events:      make([]int64, n),
+		Charges:     make([]int64, n),
+		RemoteSends: make([]int64, n),
+	}
+	if k.base != nil {
+		copy(stats.Events, k.base.Events)
+		copy(stats.Charges, k.base.Charges)
+		copy(stats.RemoteSends, k.base.RemoteSends)
+		stats.Windows = k.base.Windows
+		stats.SkippedTime = k.base.SkippedTime
+		stats.VirtualEnd = k.base.VirtualEnd
+	}
 	st := &Stepper{
 		k:       k,
 		local:   append([]int(nil), local...),
 		isLocal: make([]bool, n),
 		scheds:  make([]*Scheduler, n),
-		stats: &Stats{
-			Events:      make([]int64, n),
-			Charges:     make([]int64, n),
-			RemoteSends: make([]int64, n),
-		},
+		stats:   stats,
 		res: StepResult{
 			Events:  make([]int64, n),
 			Charges: make([]int64, n),

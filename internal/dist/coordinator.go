@@ -2,6 +2,7 @@ package dist
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"time"
@@ -70,6 +71,17 @@ func (o *Options) logf(format string, args ...any) {
 	}
 }
 
+// ErrWorkerLost marks a run that lost a worker (transport failure, protocol
+// violation, or heartbeat silence). errors.Is(err, ErrWorkerLost) holds on
+// every loss-shaped error the coordinator returns.
+var ErrWorkerLost = errors.New("worker lost")
+
+// ErrWorkerFault marks a worker-reported simulation error (an ERROR frame: a
+// poisoned run, a malformed event). It is deterministic — a fallback replay
+// would hit it again — so the coordinator aborts with it instead of
+// degrading.
+var ErrWorkerFault = errors.New("worker fault")
+
 // workerLost marks a worker conn failure; it triggers the degradation path
 // rather than failing the run outright. at is the virtual time the loss maps
 // to (stamped by run as the error propagates out).
@@ -82,7 +94,8 @@ type workerLost struct {
 func (w *workerLost) Error() string {
 	return fmt.Sprintf("dist: worker %d lost: %v", w.worker, w.err)
 }
-func (w *workerLost) Unwrap() error { return w.err }
+func (w *workerLost) Unwrap() error          { return w.err }
+func (w *workerLost) Is(target error) bool   { return target == ErrWorkerLost }
 
 // Run drives one distributed run over the given worker connections. Engines
 // are dealt round-robin (worker w gets engines w, w+W, ...). On worker loss
@@ -396,16 +409,67 @@ func sendTo(conn Conn, w int, f Frame) error {
 	return nil
 }
 
-// recvFrom reads one frame from a worker, converting transport failures and
-// worker-reported errors into workerLost.
+// recvFrom reads one frame from a worker, converting transport failures into
+// workerLost. A worker-reported ERROR frame becomes a fatal ErrWorkerFault —
+// it is deterministic, so degrading to a replay would only hit it again.
+// Liveness pongs and drain requests may interleave with any response and are
+// absorbed here (the plain coordinator ignores drain requests; the elastic
+// one flags them via onDrain).
 func recvFrom(conn Conn, w int, timeout time.Duration) (Frame, error) {
-	f, err := conn.Recv(timeout)
-	if err != nil {
-		return Frame{}, &workerLost{worker: w, err: err}
+	return recvFromHB(conn, w, timeout, nil, nil)
+}
+
+// heartbeat configures liveness probing during coordinator waits: every
+// interval without a frame, a PING goes out; misses consecutive unanswered
+// intervals declare the worker lost without waiting out the full timeout.
+type heartbeat struct {
+	interval time.Duration
+	misses   int
+}
+
+func recvFromHB(conn Conn, w int, timeout time.Duration, hb *heartbeat, onDrain func(int)) (Frame, error) {
+	deadline := time.Now().Add(timeout)
+	missed := 0
+	for {
+		slice := time.Until(deadline)
+		if slice <= 0 {
+			return Frame{}, &workerLost{worker: w, err: fmt.Errorf("no response within %v", timeout)}
+		}
+		if hb != nil && hb.interval > 0 && slice > hb.interval {
+			slice = hb.interval
+		}
+		f, err := conn.Recv(slice)
+		if err != nil {
+			if isTimeout(err) && time.Now().Before(deadline) {
+				if hb == nil || hb.interval <= 0 {
+					continue
+				}
+				missed++
+				if missed >= hb.misses {
+					return Frame{}, &workerLost{worker: w,
+						err: fmt.Errorf("no heartbeat in %d×%v", missed, hb.interval)}
+				}
+				if err := conn.Send(Frame{Type: MsgPing}); err != nil {
+					return Frame{}, &workerLost{worker: w, err: err}
+				}
+				continue
+			}
+			return Frame{}, &workerLost{worker: w, err: err}
+		}
+		switch f.Type {
+		case MsgPong:
+			missed = 0
+			continue
+		case MsgDrain:
+			missed = 0
+			if onDrain != nil {
+				onDrain(w)
+			}
+			continue
+		case MsgError:
+			m, _ := DecodeText(f.Payload)
+			return Frame{}, fmt.Errorf("dist: worker %d aborted the run: %w: %s", w, ErrWorkerFault, m.Text)
+		}
+		return f, nil
 	}
-	if f.Type == MsgError {
-		m, _ := DecodeText(f.Payload)
-		return Frame{}, &workerLost{worker: w, err: fmt.Errorf("worker reported: %s", m.Text)}
-	}
-	return f, nil
 }

@@ -73,8 +73,23 @@ const (
 	// MsgAbort tells a worker to stop immediately (coordinator shutdown,
 	// peer loss, cancellation).
 	MsgAbort
-	// MsgBye releases the worker after a successful run.
+	// MsgBye releases the worker after a successful run (or after its state
+	// has been exported at a drain barrier).
 	MsgBye
+	// MsgPing probes a silent worker's liveness; MsgPong answers it. Pongs
+	// may interleave with protocol responses and are absorbed anywhere.
+	MsgPing
+	MsgPong
+	// MsgDrain is a worker's unsolicited request to leave the run at the
+	// next membership barrier; the coordinator absorbs it anywhere.
+	MsgDrain
+	// MsgExport pulls a worker's complete barrier state for a membership
+	// change; the worker answers with its ElasticExport.
+	MsgExport
+	// MsgInstall reseats a continuing worker onto the post-resize state;
+	// MsgInstallAck confirms with the worker's derived lookahead.
+	MsgInstall
+	MsgInstallAck
 )
 
 func (t MsgType) String() string {
@@ -107,6 +122,18 @@ func (t MsgType) String() string {
 		return "ABORT"
 	case MsgBye:
 		return "BYE"
+	case MsgPing:
+		return "PING"
+	case MsgPong:
+		return "PONG"
+	case MsgDrain:
+		return "DRAIN"
+	case MsgExport:
+		return "EXPORT"
+	case MsgInstall:
+		return "INSTALL"
+	case MsgInstallAck:
+		return "INSTALL_ACK"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }

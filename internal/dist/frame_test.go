@@ -6,6 +6,8 @@ import (
 	"io"
 	"strings"
 	"testing"
+
+	"repro/internal/emu"
 )
 
 func TestFrameRoundTrip(t *testing.T) {
@@ -109,6 +111,10 @@ func FuzzDecodePayloads(f *testing.F) {
 	f.Add(Vote{Has: true, Time: 3.25}.Encode())
 	f.Add(Window{Start: 1, End: 2}.Encode())
 	f.Add(EncodeEvents(nil))
+	f.Add(ExportMsg{At: 2.5}.Encode())
+	f.Add(InstallAck{Lookahead: 0.005}.Encode())
+	f.Add(EncodeElasticExport(&emu.ElasticExport{Engines: []int{1}, FCTs: []float64{-1, 0.5}}))
+	f.Add(EncodeElasticInstall(&emu.ElasticInstall{At: 2, Lookahead: 0.01, Engines: []int{0, 1}}))
 	f.Add([]byte{})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -124,5 +130,9 @@ func FuzzDecodePayloads(f *testing.F) {
 		DecodeState(data)
 		DecodeText(data)
 		DecodeSpec(data)
+		DecodeExportMsg(data)
+		DecodeElasticExport(data)
+		DecodeElasticInstall(data)
+		DecodeInstallAck(data)
 	})
 }

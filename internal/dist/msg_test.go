@@ -178,6 +178,98 @@ func TestWindowDoneRoundTripWithTelemetry(t *testing.T) {
 	}
 }
 
+func testInstall() *emu.ElasticInstall {
+	h := telemetry.NewRunHistogram()
+	h.Observe(0.25)
+	return &emu.ElasticInstall{
+		At:          4,
+		Lookahead:   0.005,
+		Engines:     []int{0, 2},
+		Assignment:  []int{0, 2, 0, 2},
+		Windows:     17,
+		SkippedTime: 1.5,
+		Events:      []int64{3, 0, 9},
+		Charges:     []int64{2, 0, 8},
+		RemoteSends: []int64{1, 0, 0},
+		Pending: []emu.WireEvent{
+			{Time: 4.25, Dst: 2, Src: 0, SrcIdx: 1, Kind: emu.WireChunk, Flow: 1, Hop: 1, Packets: 3, Bytes: 4500},
+		},
+		BusyUntil: []float64{0, math.Nextafter(4, 5), 0, 0, 3.5, 0},
+		LinkBytes: []int64{10, 0, 30, 0, 50, 0},
+		Drops:     []int64{0, 0, 1, 0, 0, 0},
+		Delivered: []int64{100, 0},
+		FCTs:      []float64{0.5, -1},
+		Telemetry: &telemetry.Partial{
+			Engines:       []int{0, 2},
+			MatrixBytes:   []int64{1, 2, 3},
+			MatrixPackets: []int64{4, 5, 6},
+			HasSlow:       true,
+			LinkTxBytes:   []int64{7, 8, 9, 10, 11, 12},
+			LinkTxPackets: []int64{1, 1, 1, 1, 1, 1},
+			LinkRxPackets: []int64{2, 2, 2, 2, 2, 2},
+			NodePackets:   []int64{3, 4, 5, 6},
+			SeriesLoads:   [][]float64{{0.5, 0, 1.5}},
+			QueueDelay:    []*metrics.Histogram{h},
+			FCT:           []*metrics.Histogram{telemetry.NewRunHistogram()},
+			FlowsDone:     []int64{1},
+			Drops:         []int64{0},
+		},
+	}
+}
+
+func TestElasticInstallRoundTrip(t *testing.T) {
+	in := testInstall()
+	got, err := DecodeElasticInstall(EncodeElasticInstall(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gt, it := got.Telemetry, in.Telemetry
+	got.Telemetry, in.Telemetry = nil, nil
+	if !reflect.DeepEqual(got, in) {
+		t.Fatalf("install did not round-trip:\n got %+v\nwant %+v", got, in)
+	}
+	if gt == nil || !reflect.DeepEqual(gt.MatrixBytes, it.MatrixBytes) ||
+		gt.QueueDelay[0].Count != it.QueueDelay[0].Count {
+		t.Fatal("install telemetry did not round-trip")
+	}
+}
+
+func TestElasticExportRoundTrip(t *testing.T) {
+	x := &emu.ElasticExport{
+		Engines:   []int{1},
+		Events:    []emu.WireEvent{{Time: 2.5, Dst: 0, Src: 1, SrcIdx: 2, Kind: emu.WireTCPRound, Flow: 7, Window: 2, Offset: 4096}},
+		BusyUntil: []float64{0, 1.25},
+		LinkBytes: []int64{0, 99},
+		Drops:     []int64{0, 1},
+		Delivered: []int64{0, 3},
+		FCTs:      []float64{-1, math.Nextafter(1, 2)},
+	}
+	got, err := DecodeElasticExport(EncodeElasticExport(x))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, x) {
+		t.Fatalf("export did not round-trip:\n got %+v\nwant %+v", got, x)
+	}
+}
+
+// TestElasticInstallTruncationNeverPanics sweeps every prefix of an INSTALL
+// payload — the largest, deepest-nested elastic message — through its
+// decoder: every truncation must be an error, never a panic or a partial
+// success, so a mid-handshake connection cut surfaces as a decode error
+// instead of corrupt state.
+func TestElasticInstallTruncationNeverPanics(t *testing.T) {
+	blob := EncodeElasticInstall(testInstall())
+	for cut := 0; cut < len(blob); cut++ {
+		if _, err := DecodeElasticInstall(blob[:cut]); err == nil {
+			t.Fatalf("truncated install (%d of %d bytes) decoded without error", cut, len(blob))
+		}
+	}
+	if _, err := DecodeElasticInstall(append(append([]byte(nil), blob...), 0xff)); err == nil {
+		t.Fatal("trailing bytes must be rejected")
+	}
+}
+
 func TestStateRoundTrip(t *testing.T) {
 	s := &emu.DistState{
 		Engines:     []int{0, 2},

@@ -33,6 +33,10 @@ type canonicalResult struct {
 	FinalAssignment []int
 	SeriesLoads     [][]float64
 	Telemetry       json.RawMessage `json:",omitempty"`
+	// Membership records elastic engine-set changes; equivalence between an
+	// in-process elastic schedule and a live join/drain run covers the
+	// membership log itself, not just the simulation outputs.
+	Membership *emu.Membership `json:",omitempty"`
 }
 
 // ResultJSON renders a Result into canonical JSON: byte-identical across an
@@ -52,6 +56,7 @@ func ResultJSON(r *emu.Result) ([]byte, error) {
 		DroppedPackets:  r.DroppedPackets,
 		LinkBytes:       r.LinkBytes,
 		FinalAssignment: r.FinalAssignment,
+		Membership:      r.Membership,
 	}
 	if r.Kernel != nil {
 		c.Windows = r.Kernel.Windows

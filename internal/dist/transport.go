@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -69,11 +70,14 @@ func (t *tcpConn) Recv(timeout time.Duration) (Frame, error) {
 func (t *tcpConn) Close() error  { return t.c.Close() }
 func (t *tcpConn) Label() string { return t.label }
 
-// Dial connects to a coordinator or worker address with exponential backoff,
-// so the two processes need not be started in a fixed order. It retries until
-// the context expires.
+// Dial connects to a coordinator or worker address with jittered exponential
+// backoff, so the two processes need not be started in a fixed order and a
+// fleet of workers does not retry in lockstep. It retries until the context
+// expires; the final wait is capped at the context deadline, so an address
+// nobody ever listens on returns ctx.Err() promptly at the deadline.
 func Dial(ctx context.Context, addr string) (Conn, error) {
 	var d net.Dialer
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
 	backoff := 50 * time.Millisecond
 	const maxBackoff = 2 * time.Second
 	for {
@@ -81,10 +85,21 @@ func Dial(ctx context.Context, addr string) (Conn, error) {
 		if err == nil {
 			return NewTCPConn(c), nil
 		}
+		// Full jitter over [backoff/2, backoff): desynchronizes a worker
+		// fleet without ever collapsing the wait to zero.
+		wait := backoff/2 + time.Duration(rng.Int63n(int64(backoff/2)))
+		if dl, ok := ctx.Deadline(); ok {
+			if until := time.Until(dl); until < wait {
+				wait = until
+			}
+		}
 		select {
 		case <-ctx.Done():
 			return nil, fmt.Errorf("dist: dial %s: %w (last error: %v)", addr, ctx.Err(), err)
-		case <-time.After(backoff):
+		case <-time.After(wait):
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("dist: dial %s: %w", addr, err)
 		}
 		if backoff *= 2; backoff > maxBackoff {
 			backoff = maxBackoff

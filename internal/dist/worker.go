@@ -17,6 +17,11 @@ type WorkerOptions struct {
 	// that goes silent longer than this fails the worker instead of wedging
 	// it. <= 0 selects the default.
 	IdleTimeout time.Duration
+	// Drain, when it fires (or closes), asks the coordinator for a graceful
+	// leave: the worker sends DRAIN once and keeps serving until the
+	// coordinator exports its state at a membership barrier and releases it
+	// with BYE. Distinct from cancellation, which abandons the run.
+	Drain <-chan struct{}
 	// Logf, when set, receives one line per protocol phase.
 	Logf func(format string, args ...any)
 }
@@ -62,7 +67,8 @@ func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
 	if err := conn.Send(Frame{Type: MsgHello, Payload: Hello{Version: Version}.Encode()}); err != nil {
 		return err
 	}
-	f, err := recvCtx(ctx, conn, opt.IdleTimeout)
+	drained := false
+	f, err := recvCmd(ctx, conn, opt, &drained)
 	if err != nil {
 		return err
 	}
@@ -107,7 +113,7 @@ func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
 	}
 
 	for {
-		f, err := recvCtx(ctx, conn, opt.IdleTimeout)
+		f, err := recvCmd(ctx, conn, opt, &drained)
 		if err != nil {
 			return err
 		}
@@ -145,12 +151,36 @@ func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
 			if err := conn.Send(Frame{Type: MsgCheckpointAck, Payload: CheckpointAck{Count: int64(n)}.Encode()}); err != nil {
 				return err
 			}
+		case MsgExport:
+			x, err := DecodeExportMsg(f.Payload)
+			if err != nil {
+				return err
+			}
+			ex, err := local.Export(x.At)
+			if err != nil {
+				return err
+			}
+			if err := conn.Send(Frame{Type: MsgExport, Payload: EncodeElasticExport(ex)}); err != nil {
+				return err
+			}
+		case MsgInstall:
+			in, err := DecodeElasticInstall(f.Payload)
+			if err != nil {
+				return err
+			}
+			if err := local.Reseat(in); err != nil {
+				return err
+			}
+			opt.logf("dist: worker %d reseated onto engines %v at t=%g", as.WorkerID, in.Engines, in.At)
+			if err := conn.Send(Frame{Type: MsgInstallAck, Payload: InstallAck{Lookahead: in.Lookahead}.Encode()}); err != nil {
+				return err
+			}
 		case MsgFinish:
 			st := local.Final()
 			if err := conn.Send(Frame{Type: MsgState, Payload: EncodeState(st)}); err != nil {
 				return err
 			}
-			f, err := recvCtx(ctx, conn, opt.IdleTimeout)
+			f, err := recvCmd(ctx, conn, opt, &drained)
 			if err != nil {
 				return err
 			}
@@ -158,6 +188,11 @@ func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
 				return fmt.Errorf("dist: worker expected BYE, got %s", f.Type)
 			}
 			opt.logf("dist: worker %d done", as.WorkerID)
+			return nil
+		case MsgBye:
+			// A drained worker is released at the membership barrier that
+			// exported its state, without a FINISH round.
+			opt.logf("dist: worker %d drained", as.WorkerID)
 			return nil
 		case MsgAbort:
 			m, _ := DecodeText(f.Payload)
@@ -168,25 +203,45 @@ func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
 	}
 }
 
-// recvCtx is Recv bounded by both the idle timeout and the context — a
-// canceled context (SIGINT drain) interrupts the wait at the next slice.
-func recvCtx(ctx context.Context, conn Conn, idle time.Duration) (Frame, error) {
-	deadline := time.Now().Add(idle)
+// recvCmd is Recv bounded by both the idle timeout and the context — a
+// canceled context interrupts the wait at the next slice. Liveness pings are
+// answered in place, and a pending drain request goes out between waits (the
+// worker is the only writer on its side, so sending here cannot interleave
+// with a response). drained latches so DRAIN is sent at most once.
+func recvCmd(ctx context.Context, conn Conn, opt *WorkerOptions, drained *bool) (Frame, error) {
+	deadline := time.Now().Add(opt.IdleTimeout)
 	for {
 		if ctx != nil {
 			if err := ctx.Err(); err != nil {
 				return Frame{}, fmt.Errorf("dist: canceled: %w", err)
 			}
 		}
+		if opt.Drain != nil && !*drained {
+			select {
+			case <-opt.Drain:
+				*drained = true
+				opt.logf("dist: requesting drain")
+				if err := conn.Send(Frame{Type: MsgDrain}); err != nil {
+					return Frame{}, err
+				}
+			default:
+			}
+		}
 		slice := time.Until(deadline)
 		if slice <= 0 {
-			return Frame{}, fmt.Errorf("dist: no command within %v", idle)
+			return Frame{}, fmt.Errorf("dist: no command within %v", opt.IdleTimeout)
 		}
-		if ctx != nil && slice > time.Second {
+		if slice > time.Second && (ctx != nil || (opt.Drain != nil && !*drained)) {
 			slice = time.Second
 		}
 		f, err := conn.Recv(slice)
 		if err == nil {
+			if f.Type == MsgPing {
+				if err := conn.Send(Frame{Type: MsgPong}); err != nil {
+					return Frame{}, err
+				}
+				continue
+			}
 			return f, nil
 		}
 		if isTimeout(err) && time.Now().Before(deadline) {

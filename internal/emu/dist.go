@@ -132,6 +132,9 @@ func checkDistConfig(cfg *Config) error {
 	if cfg.Faults != nil {
 		return fmt.Errorf("%w: fault schedules do not run distributed (injected faults are an in-process feature)", ErrBadConfig)
 	}
+	if len(cfg.Elastic) > 0 || cfg.OnResize != nil {
+		return fmt.Errorf("%w: elastic schedules do not ship (the distributed coordinator drives membership changes itself)", ErrBadConfig)
+	}
 	return nil
 }
 
@@ -311,6 +314,9 @@ type DistMerge struct {
 	e       *emulation
 	stats   *des.Stats
 	winWait []float64
+	// active flags the engines currently in the run's membership; resizes
+	// update it, and Finalize only requires coverage of active engines.
+	active []bool
 }
 
 // NewDistMerge builds the coordinator-side merge state. Options carry the
@@ -335,6 +341,10 @@ func NewDistMerge(cfg Config, opts ...Option) (*DistMerge, error) {
 			RemoteSends: make([]int64, n),
 		},
 		winWait: make([]float64, n),
+		active:  make([]bool, n),
+	}
+	for i := range m.active {
+		m.active[i] = true
 	}
 	if e.rec != nil {
 		e.rec.RecordRun(obs.RunMeta{LPs: n, Lookahead: e.lookahead})
@@ -457,8 +467,8 @@ func (m *DistMerge) Finalize(states []*DistState, wall time.Duration) (*Result, 
 		}
 	}
 	for eng, si := range owner {
-		if si < 0 {
-			return nil, fmt.Errorf("emu: no final state covers engine %d", eng)
+		if si < 0 && m.active[eng] {
+			return nil, fmt.Errorf("emu: no final state covers active engine %d", eng)
 		}
 	}
 	// A flow's completion time is written by its destination node's engine.

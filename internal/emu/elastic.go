@@ -1,0 +1,154 @@
+package emu
+
+import (
+	"fmt"
+
+	"repro/internal/des"
+	"repro/internal/obs"
+)
+
+// Elastic membership: the engine set of a run changes while it executes. A
+// Resize pauses the run at the next window barrier at or after At,
+// repartitions the virtual nodes onto the new engine set (explicitly or via
+// Config.OnResize), migrates pending events and accounting to the new owners,
+// and resumes. The kernel's LP count is fixed for a run, so NumEngines is the
+// capacity: a resize activates or deactivates engines within it. This
+// in-process path is the canonical reference the distributed join/drain
+// protocol must match byte-for-byte.
+
+// Resize schedules one membership change.
+type Resize struct {
+	// At is the virtual time the change is requested; it applies at the
+	// first window barrier at or after it.
+	At float64
+	// Engines is the new active engine set (within [0, NumEngines)).
+	Engines []int
+	// Assignment optionally fixes the post-resize node→engine assignment
+	// (every value drawn from Engines). When nil, Config.OnResize decides.
+	Assignment []int
+}
+
+// ResizeEvent is the context handed to Config.OnResize.
+type ResizeEvent struct {
+	// At is the barrier time the resize applies at.
+	At float64
+	// Engines is the new active engine set.
+	Engines []int
+	// Previous is the assignment in effect before the resize.
+	Previous []int
+	// Loads is the cumulative kernel-event charge per engine at the barrier —
+	// the load picture a repartitioning policy balances against.
+	Loads []float64
+}
+
+// AppliedResize records one applied membership change.
+type AppliedResize struct {
+	// At is the barrier time the resize was applied at.
+	At float64
+	// Engines is the active engine set after it.
+	Engines []int
+	// Assignment is the node→engine assignment after it.
+	Assignment []int
+	// Migrations is the number of nodes that changed engines.
+	Migrations int
+}
+
+// Membership summarizes elastic engine-set changes over a run.
+type Membership struct {
+	// Resizes lists the applied changes in order.
+	Resizes []AppliedResize
+	// Stall is the modeled state-transfer stall charged to AppTime:
+	// Migrations × MigrationCost summed over all resizes.
+	Stall float64
+}
+
+// resizeSignal aborts a kernel segment at the barrier that applies a resize;
+// runResilient catches it and resumes after repartitioning. The checkpoint is
+// captured inside the barrier hook, while the kernel's live statistics are
+// still installed — after Run returns they are gone.
+type resizeSignal struct {
+	idx int
+	at  float64
+	cp  *des.Checkpoint
+}
+
+func (r *resizeSignal) Error() string {
+	return fmt.Sprintf("emu: elastic resize %d at barrier t=%g", r.idx, r.at)
+}
+
+// applyResize repartitions the run onto Elastic[idx]'s engine set at barrier
+// time at. Unlike crash recovery there is no rollback: the state at the
+// barrier is consistent, so the kernel checkpoint taken here is both the
+// migration source and the new rollback fence (returned for the caller to
+// install as such).
+func (e *emulation) applyResize(k *des.Kernel, rs *resizeSignal, alive []bool) (*checkpointState, error) {
+	idx, at, cp := rs.idx, rs.at, rs.cp
+	r := e.cfg.Elastic[idx]
+	target := make([]bool, e.cfg.NumEngines)
+	for _, eng := range r.Engines {
+		if !alive[eng] {
+			return nil, fmt.Errorf("emu: elastic resize %d targets crashed engine %d", idx, eng)
+		}
+		target[eng] = true
+	}
+	cpStats := cp.Stats()
+
+	newAssign := r.Assignment
+	if newAssign == nil {
+		loads := make([]float64, len(cpStats.Charges))
+		for i, c := range cpStats.Charges {
+			loads[i] = float64(c)
+		}
+		var err error
+		newAssign, err = e.cfg.OnResize(ResizeEvent{
+			At:       at,
+			Engines:  append([]int(nil), r.Engines...),
+			Previous: append([]int(nil), e.assignment...),
+			Loads:    loads,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("emu: resize %d at t=%g: %w", idx, at, err)
+		}
+		if len(newAssign) != e.nw.NumNodes() {
+			return nil, fmt.Errorf("emu: resize assignment covers %d nodes, network has %d",
+				len(newAssign), e.nw.NumNodes())
+		}
+		for v, eng := range newAssign {
+			if eng < 0 || eng >= e.cfg.NumEngines || !target[eng] {
+				return nil, fmt.Errorf("emu: resize assigned node %d to engine %d outside the new set", v, eng)
+			}
+		}
+	}
+
+	migrations := 0
+	migTo := make([]int64, e.cfg.NumEngines)
+	for v, eng := range newAssign {
+		if eng != e.assignment[v] {
+			migrations++
+			migTo[eng]++
+		}
+	}
+	e.recordEvent(obs.Event{Kind: obs.EventResize, Time: at, LP: -1, Value: float64(len(r.Engines))})
+	for eng, n := range migTo {
+		if n > 0 {
+			e.recordEvent(obs.Event{Kind: obs.EventMigration, Time: at, LP: eng, Value: float64(n)})
+		}
+	}
+
+	// Reassign and reseat the kernel: pending events move to their new
+	// owners (ownerOf keys on flow state, not the captured LP) and the
+	// synchronization window is recomputed for the new cut.
+	e.assignment = append([]int(nil), newAssign...)
+	if err := k.Restore(cp, Lookahead(e.nw, e.assignment, e.cfg.MinLookahead), e.ownerOf); err != nil {
+		return nil, err
+	}
+
+	e.membership.Resizes = append(e.membership.Resizes, AppliedResize{
+		At:         at,
+		Engines:    append([]int(nil), r.Engines...),
+		Assignment: append([]int(nil), newAssign...),
+		Migrations: migrations,
+	})
+	e.membership.Stall += float64(migrations) * e.cfg.MigrationCost
+	return e.snapshot(cp), nil
+}

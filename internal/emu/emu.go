@@ -149,6 +149,15 @@ type Config struct {
 	// changes engines (default DefaultMigrationCost, the dynamic-remap state
 	// transfer model).
 	MigrationCost float64
+
+	// Elastic schedules engine-set membership changes: at each Resize.At the
+	// run pauses at the next window barrier, repartitions the virtual nodes
+	// onto the new engine set, and resumes — the in-process reference for the
+	// distributed join/drain protocol. Entries must be sorted by At.
+	Elastic []Resize
+	// OnResize computes the post-resize assignment for Elastic entries that
+	// do not carry an explicit Assignment. Required when any entry omits one.
+	OnResize func(ev ResizeEvent) ([]int, error)
 }
 
 // Result reports a completed run.
@@ -191,6 +200,9 @@ type Result struct {
 	// Recovery reports fault handling; nil when the fault schedule had no
 	// crashes.
 	Recovery *Recovery
+	// Membership reports elastic engine-set changes; nil when Config.Elastic
+	// was empty.
+	Membership *Membership
 	// Obs is the aggregated observability summary — per-engine event,
 	// charge, remote-send and queue counters, barrier wait, and recovery
 	// lifecycle counts. nil unless the run was given WithStats or
@@ -289,7 +301,7 @@ func Run(cfg Config, opts ...Option) (*Result, error) {
 	desCfg := e.kernelConfig()
 	desCfg.Observer = e.observe
 	desCfg.Recorder = e.rec
-	if o.ctx != nil || cfg.Faults.HasCrashes() {
+	if o.ctx != nil || cfg.Faults.HasCrashes() || len(cfg.Elastic) > 0 {
 		// Cancellation is observed between windows, never mid-handler; the
 		// crash-injection hook target is installed by runResilient once the
 		// kernel exists, and the indirection keeps des.Config construction
@@ -520,6 +532,11 @@ func (e *emulation) buildResult(stats *des.Stats, recovery *Recovery) *Result {
 		// migration state transfer) dilate the paced execution.
 		appTime += recovery.Downtime
 	}
+	if e.membership != nil {
+		// Elastic resizes stall only for state transfer — no rollback, the
+		// barrier snapshot is already the resume point.
+		appTime += e.membership.Stall
+	}
 
 	loads := make([]float64, cfg.NumEngines)
 	for lp := range loads {
@@ -556,6 +573,7 @@ func (e *emulation) buildResult(stats *des.Stats, recovery *Recovery) *Result {
 		DroppedPackets:  dropped,
 		FinalAssignment: append([]int(nil), e.assignment...),
 		Recovery:        recovery,
+		Membership:      e.membership,
 		Obs:             e.runStats,
 		Telemetry:       telSnap,
 	}
@@ -607,6 +625,52 @@ func validate(cfg *Config) error {
 	if cfg.MigrationCost <= 0 {
 		cfg.MigrationCost = DefaultMigrationCost
 	}
+	if len(cfg.Elastic) > 0 {
+		prevAt := 0.0
+		needHook := false
+		for i, r := range cfg.Elastic {
+			if r.At <= prevAt {
+				return fmt.Errorf("%w: elastic resize %d at t=%g must come after t=%g and be positive",
+					ErrBadConfig, i, r.At, prevAt)
+			}
+			prevAt = r.At
+			if len(r.Engines) == 0 {
+				return fmt.Errorf("%w: elastic resize %d has an empty engine set", ErrBadConfig, i)
+			}
+			seen := make(map[int]bool, len(r.Engines))
+			for _, eng := range r.Engines {
+				if eng < 0 || eng >= cfg.NumEngines {
+					return fmt.Errorf("%w: elastic resize %d targets engine %d, want [0,%d)",
+						ErrBadConfig, i, eng, cfg.NumEngines)
+				}
+				if seen[eng] {
+					return fmt.Errorf("%w: elastic resize %d lists engine %d twice", ErrBadConfig, i, eng)
+				}
+				seen[eng] = true
+			}
+			if r.Assignment == nil {
+				needHook = true
+				continue
+			}
+			if len(r.Assignment) != cfg.Network.NumNodes() {
+				return fmt.Errorf("%w: elastic resize %d assignment covers %d nodes, network has %d",
+					ErrBadConfig, i, len(r.Assignment), cfg.Network.NumNodes())
+			}
+			for v, eng := range r.Assignment {
+				if !seen[eng] {
+					return fmt.Errorf("%w: elastic resize %d assigns node %d to engine %d outside the new set",
+						ErrBadConfig, i, v, eng)
+				}
+			}
+		}
+		if needHook && cfg.OnResize == nil {
+			return fmt.Errorf("%w: elastic resizes without explicit assignments need an OnResize policy",
+				ErrBadConfig)
+		}
+		if cfg.CheckpointEvery <= 0 {
+			cfg.CheckpointEvery = DefaultCheckpointEvery
+		}
+	}
 	return nil
 }
 
@@ -649,6 +713,9 @@ type emulation struct {
 	// barrier is the fault-injection hook target, installed by runResilient
 	// when the schedule contains crashes.
 	barrier func(ws, we float64) error
+	// membership accumulates elastic resize bookkeeping; nil unless
+	// Config.Elastic is set (or a distributed coordinator drives resizes).
+	membership *Membership
 }
 
 func (e *emulation) speedOf(lp int) float64 {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"repro/internal/des"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netflow"
 	"repro/internal/obs"
@@ -158,41 +159,76 @@ func (e *emulation) ownerOf(ev des.Event) (int, bool) {
 }
 
 // runResilient executes the kernel, recovering from scheduled engine
-// crashes: detection at the window barrier, rollback to the last barrier
-// checkpoint, OnCrash remapping of the dead engine's nodes and pending
-// events onto survivors, and deterministic replay of the lost windows.
-// Without crash faults it is a plain kernel run.
+// crashes and applying scheduled elastic resizes: crash detection at the
+// window barrier triggers rollback to the last barrier checkpoint, OnCrash
+// remapping of the dead engine's nodes and pending events onto survivors, and
+// deterministic replay of the lost windows; a resize pauses at the barrier,
+// repartitions onto the new engine set from the live (un-rolled-back) state,
+// and resumes. Without crashes or resizes it is a plain kernel run.
 func (e *emulation) runResilient(k *des.Kernel) (*des.Stats, *Recovery, error) {
 	sched := e.cfg.Faults
-	if !sched.HasCrashes() {
+	hasCrashes := sched.HasCrashes()
+	elastic := e.cfg.Elastic
+	if !hasCrashes && len(elastic) == 0 {
 		stats, err := k.Run()
 		return stats, nil, err
 	}
 
 	every := e.cfg.CheckpointEvery
-	handled := make([]bool, len(sched.Crashes))
+	var handled []bool
+	if hasCrashes {
+		handled = make([]bool, len(sched.Crashes))
+	}
+	resized := make([]bool, len(elastic))
 	alive := make([]bool, e.cfg.NumEngines)
 	for i := range alive {
 		alive[i] = true
 	}
-	rec := &Recovery{}
+	var rec *Recovery
+	if hasCrashes {
+		rec = &Recovery{}
+	}
+	if len(elastic) > 0 {
+		e.membership = &Membership{}
+	}
 
 	// The initial checkpoint covers crashes before the first scheduled one.
 	last := e.snapshot(k.Checkpoint(0))
-	rec.Checkpoints++
+	if rec != nil {
+		rec.Checkpoints++
+	}
 	e.recordEvent(obs.Event{Kind: obs.EventCheckpoint, Time: 0, LP: -1})
 	nextCkpt := every
 	e.barrier = func(ws, we float64) error {
-		// Crash detection comes first: a window that contains a failure
+		// Membership changes come first: a window that contains a failure
 		// must not contribute a checkpoint, because the dead engine's state
-		// past the failure instant is garbage.
-		if idx, crash, ok := sched.NextCrash(we, handled); ok {
-			handled[idx] = true
+		// past the failure instant is garbage. A pending crash and a pending
+		// resize are ordered by scheduled time, crash winning ties (the
+		// failure instant precedes the barrier that would apply the resize).
+		crashIdx, crash, crashOK := -1, faults.Crash{}, false
+		if hasCrashes {
+			crashIdx, crash, crashOK = sched.NextCrash(we, handled)
+		}
+		resizeIdx := -1
+		for i, r := range elastic {
+			if !resized[i] && we >= r.At {
+				resizeIdx = i
+				break
+			}
+		}
+		if crashOK && (resizeIdx < 0 || crash.At <= elastic[resizeIdx].At) {
+			handled[crashIdx] = true
 			return &des.LPFailure{LP: crash.Engine, Time: crash.At}
+		}
+		if resizeIdx >= 0 {
+			resized[resizeIdx] = true
+			return &resizeSignal{idx: resizeIdx, at: we, cp: k.Checkpoint(we)}
 		}
 		if we >= nextCkpt {
 			last = e.snapshot(k.Checkpoint(we))
-			rec.Checkpoints++
+			if rec != nil {
+				rec.Checkpoints++
+			}
 			e.recordEvent(obs.Event{Kind: obs.EventCheckpoint, Time: we, LP: -1})
 			for nextCkpt <= we {
 				nextCkpt += every
@@ -207,6 +243,9 @@ func (e *emulation) runResilient(k *des.Kernel) (*des.Stats, *Recovery, error) {
 	for {
 		stats, err := k.Run()
 		if err == nil {
+			if rec == nil {
+				return stats, nil, nil
+			}
 			if rec.Failures > 0 {
 				post := make([]float64, e.cfg.NumEngines)
 				for lp := range post {
@@ -220,6 +259,17 @@ func (e *emulation) runResilient(k *des.Kernel) (*des.Stats, *Recovery, error) {
 			}
 			rec.Alive = alive
 			return stats, rec, nil
+		}
+		var rs *resizeSignal
+		if errors.As(err, &rs) {
+			snap, err := e.applyResize(k, rs, alive)
+			if err != nil {
+				return nil, nil, err
+			}
+			// The resize snapshot becomes the rollback fence: a later crash
+			// must not roll back behind a membership change.
+			last = snap
+			continue
 		}
 		var lpf *des.LPFailure
 		if !errors.As(err, &lpf) {

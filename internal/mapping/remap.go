@@ -21,6 +21,22 @@ import (
 // The returned assignment is in engine-ID space (values drawn from
 // survivors) together with the number of nodes that changed engines.
 func RemapSurvivors(in Input, previous []int, survivors []int, engineLoads []float64) ([]int, int, error) {
+	return RemapOnto(in, previous, survivors, engineLoads)
+}
+
+// RemapOnto redistributes the virtual network onto an arbitrary target engine
+// set — the general membership-change remap. It covers both directions:
+// shrink (crash or graceful drain: the target set omits departed engines, so
+// their nodes strand and are re-seeded) and grow (elastic join: the target set
+// includes fresh engines that start with empty parts and are filled from the
+// biggest donors before refinement). Nodes already on a target engine keep it
+// in the seed, so partition.Improve moves state only when the balance gain
+// pays for the migration. engineLoads, when provided, orders the greedy
+// seeding by measured engine load.
+//
+// The returned assignment is in engine-ID space (values drawn from engines)
+// together with the number of nodes that changed engines.
+func RemapOnto(in Input, previous []int, engines []int, engineLoads []float64) ([]int, int, error) {
 	if err := in.defaults(); err != nil {
 		return nil, 0, err
 	}
@@ -29,23 +45,23 @@ func RemapSurvivors(in Input, previous []int, survivors []int, engineLoads []flo
 		return nil, 0, fmt.Errorf("%w: remap: previous assignment covers %d nodes, network has %d",
 			ErrBadInput, len(previous), nw.NumNodes())
 	}
-	if len(survivors) == 0 {
-		return nil, 0, fmt.Errorf("%w: remap: no surviving engines", ErrInfeasible)
+	if len(engines) == 0 {
+		return nil, 0, fmt.Errorf("%w: remap: no target engines", ErrInfeasible)
 	}
 
-	slotOf := make(map[int]int, len(survivors))
-	for slot, eng := range survivors {
+	slotOf := make(map[int]int, len(engines))
+	for slot, eng := range engines {
 		slotOf[eng] = slot
 	}
-	m := len(survivors)
+	m := len(engines)
 
 	if m == 1 {
-		// Nothing to balance: everything lands on the lone survivor.
+		// Nothing to balance: everything lands on the lone target.
 		next := make([]int, len(previous))
 		moved := 0
 		for v := range next {
-			next[v] = survivors[0]
-			if previous[v] != survivors[0] {
+			next[v] = engines[0]
+			if previous[v] != engines[0] {
 				moved++
 			}
 		}
@@ -66,13 +82,13 @@ func RemapSurvivors(in Input, previous []int, survivors []int, engineLoads []flo
 	memoryWeights(nw, g, 1)
 	lat := latencyWeights(nw, g)
 
-	// Seed: surviving nodes keep their engine; stranded nodes go to the
-	// least-loaded survivor one by one (deterministic ID order), tracking
-	// the running bandwidth-weight tally so a big dead engine spreads over
-	// several survivors instead of piling onto one.
+	// Seed: nodes already on a target engine keep it; stranded nodes go to
+	// the least-loaded target one by one (deterministic ID order), tracking
+	// the running bandwidth-weight tally so a big departed engine spreads
+	// over several targets instead of piling onto one.
 	tally := make([]float64, m)
 	if len(engineLoads) > 0 {
-		for slot, eng := range survivors {
+		for slot, eng := range engines {
 			if eng < len(engineLoads) {
 				tally[slot] = engineLoads[eng]
 			}
@@ -117,8 +133,9 @@ func RemapSurvivors(in Input, previous []int, survivors []int, engineLoads []flo
 		tally[best] += float64(g.VWgt[v][0])
 	}
 
-	// partition.Improve refuses empty parts; a survivor can end up empty if
-	// it owned no nodes before the crash and no stranded node reached it.
+	// partition.Improve refuses empty parts; a target can end up empty if it
+	// owned no nodes before (a crash survivor that hosted nothing, or a
+	// freshly joined engine) and no stranded node reached it.
 	counts := make([]int, m)
 	for _, slot := range part {
 		counts[slot]++
@@ -150,7 +167,7 @@ func RemapSurvivors(in Input, previous []int, survivors []int, engineLoads []flo
 	next := make([]int, len(part))
 	moved := 0
 	for v, slot := range part {
-		next[v] = survivors[slot]
+		next[v] = engines[slot]
 		if next[v] != previous[v] {
 			moved++
 		}

@@ -153,3 +153,74 @@ func TestRemapSurvivorsDeterministic(t *testing.T) {
 		}
 	}
 }
+
+func TestRemapOntoGrow(t *testing.T) {
+	// Elastic join: the target set is larger than the set that computed the
+	// previous assignment. Every target — including the fresh engines — must
+	// receive nodes, and the remap must improve the bandwidth-weight balance
+	// over leaving the newcomers idle.
+	nw := topogen.Campus()
+	in := Input{Network: nw, K: 4, PartOpts: partition.Options{Seed: 1}}
+	prev, err := TopMap(Input{Network: nw, K: 2, PartOpts: partition.Options{Seed: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []int{0, 1, 2, 3} // engines 2 and 3 just joined
+	next, moved, err := RemapOnto(in, prev, targets, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	for v, e := range next {
+		if e < 0 || e > 3 {
+			t.Fatalf("node %d mapped to engine %d outside the target set", v, e)
+		}
+		counts[e]++
+	}
+	for _, e := range targets {
+		if counts[e] == 0 {
+			t.Errorf("target engine %d received no nodes after the grow remap", e)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("a grow remap that moves nothing left the new engines idle")
+	}
+	weight := func(assign []int, m int) float64 {
+		loads := make([]float64, m)
+		for v, e := range assign {
+			loads[e] += nw.TotalBandwidth(v)
+		}
+		return metrics.Imbalance(loads)
+	}
+	if got, was := weight(next, 4), weight(prev, 4); got >= was {
+		t.Errorf("grow remap imbalance %.3f did not improve on pre-join %.3f", got, was)
+	}
+}
+
+func TestRemapOntoShrinkMatchesSurvivors(t *testing.T) {
+	// RemapSurvivors is a thin wrapper: the two entry points must agree
+	// exactly on the shrink direction.
+	nw := topogen.Campus()
+	in := Input{Network: nw, K: 4, PartOpts: partition.Options{Seed: 1}}
+	prev, err := TopMap(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := []float64{10, 20, 30, 40}
+	a, am, err := RemapSurvivors(in, prev, []int{0, 3}, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, bm, err := RemapOnto(in, prev, []int{0, 3}, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if am != bm {
+		t.Fatalf("moved: RemapSurvivors %d vs RemapOnto %d", am, bm)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("node %d: RemapSurvivors -> %d, RemapOnto -> %d", v, a[v], b[v])
+		}
+	}
+}

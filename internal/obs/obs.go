@@ -82,9 +82,22 @@ const (
 	// EventMigration reports recovery migrations onto one engine. LP is the
 	// destination engine, Time the checkpoint, Value the node count.
 	EventMigration
+	// EventResize marks an applied elastic membership change. Time is the
+	// barrier it was applied at, LP is -1, Value the new engine-set size.
+	EventResize
+	// EventJoin marks a worker joining a distributed run. LP is the first
+	// engine the joiner activates, Time the barrier it was admitted at.
+	EventJoin
+	// EventDrain marks a worker leaving a distributed run gracefully. LP is
+	// the first engine the leaver deactivates, Time the hand-off barrier.
+	EventDrain
+	// EventHeartbeatMiss marks a liveness probe going unanswered. LP is the
+	// silent worker's first engine, Value the consecutive miss count.
+	EventHeartbeatMiss
 )
 
-var eventKindNames = [...]string{"checkpoint", "crash", "rollback", "migration"}
+var eventKindNames = [...]string{"checkpoint", "crash", "rollback", "migration",
+	"resize", "join", "drain", "heartbeat-miss"}
 
 // String names the kind as it appears in traces.
 func (k EventKind) String() string {
