@@ -17,8 +17,19 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netflow"
+	"repro/internal/netgraph"
 	"repro/internal/partition"
 )
+
+// mustRoutes resolves a scenario's route oracle or fails the benchmark.
+func mustRoutes(tb testing.TB, sc *core.Scenario) netgraph.Routing {
+	tb.Helper()
+	r, err := sc.Routes()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return r
+}
 
 // ablationScenario builds the TeraGrid+ScaLapack study with a completed
 // profiling run, the setting where every knob is live.
@@ -37,7 +48,7 @@ func ablationScenario(b *testing.B) (*core.Scenario, *netflow.Summary) {
 		b.Fatal(err)
 	}
 	res, err := emu.Run(emu.Config{
-		Network: s.Network, Routes: s.Routes(), Assignment: topPart,
+		Network: s.Network, Routes: mustRoutes(b, s), Assignment: topPart,
 		NumEngines: s.Engines, Workload: w, Profile: true,
 	})
 	if err != nil {
@@ -57,7 +68,7 @@ func BenchmarkAblationLatencyPriority(b *testing.B) {
 			var imb, look float64
 			for i := 0; i < b.N; i++ {
 				part, err := mapping.ProfileMap(mapping.Input{
-					Network: sc.Network, Routes: sc.Routes(), K: sc.Engines,
+					Network: sc.Network, Routes: mustRoutes(b, sc), K: sc.Engines,
 					PartOpts: partition.Options{Seed: 45}, Summary: sum,
 					LatencyPriority: p,
 				})
@@ -65,7 +76,7 @@ func BenchmarkAblationLatencyPriority(b *testing.B) {
 					b.Fatal(err)
 				}
 				res, err := emu.Run(emu.Config{
-					Network: sc.Network, Routes: sc.Routes(), Assignment: part,
+					Network: sc.Network, Routes: mustRoutes(b, sc), Assignment: part,
 					NumEngines: sc.Engines, Workload: w,
 				})
 				if err != nil {
@@ -90,7 +101,7 @@ func BenchmarkAblationClustering(b *testing.B) {
 			var imb, fine float64
 			for i := 0; i < b.N; i++ {
 				part, err := mapping.ProfileMap(mapping.Input{
-					Network: sc.Network, Routes: sc.Routes(), K: sc.Engines,
+					Network: sc.Network, Routes: mustRoutes(b, sc), K: sc.Engines,
 					PartOpts: partition.Options{Seed: 45}, Summary: sum,
 					Cluster: cluster,
 				})
@@ -98,7 +109,7 @@ func BenchmarkAblationClustering(b *testing.B) {
 					b.Fatal(err)
 				}
 				res, err := emu.Run(emu.Config{
-					Network: sc.Network, Routes: sc.Routes(), Assignment: part,
+					Network: sc.Network, Routes: mustRoutes(b, sc), Assignment: part,
 					NumEngines: sc.Engines, Workload: w,
 				})
 				if err != nil {
@@ -131,7 +142,7 @@ func BenchmarkAblationPartitioner(b *testing.B) {
 			var predicted float64
 			for i := 0; i < b.N; i++ {
 				part, err := mapping.ProfileMap(mapping.Input{
-					Network: sc.Network, Routes: sc.Routes(), K: sc.Engines,
+					Network: sc.Network, Routes: mustRoutes(b, sc), K: sc.Engines,
 					PartOpts: tc.opts, Summary: sum,
 				})
 				if err != nil {
@@ -165,7 +176,7 @@ func BenchmarkAblationParallelism(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				_, err := emu.Run(emu.Config{
-					Network: sc.Network, Routes: sc.Routes(), Assignment: part,
+					Network: sc.Network, Routes: mustRoutes(b, sc), Assignment: part,
 					NumEngines: sc.Engines, Workload: w, Sequential: seq,
 				})
 				if err != nil {
@@ -196,7 +207,7 @@ func BenchmarkAblationTransport(b *testing.B) {
 			var completed int
 			for i := 0; i < b.N; i++ {
 				res, err := emu.Run(emu.Config{
-					Network: sc.Network, Routes: sc.Routes(), Assignment: part,
+					Network: sc.Network, Routes: mustRoutes(b, sc), Assignment: part,
 					NumEngines: sc.Engines, Workload: w, Transport: mode,
 				})
 				if err != nil {

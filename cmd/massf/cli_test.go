@@ -3,6 +3,8 @@ package main
 import (
 	"errors"
 	"testing"
+
+	"repro/internal/netgraph"
 )
 
 // base returns a flag state that validates cleanly.
@@ -31,6 +33,10 @@ func TestValidateFlagsAccepts(t *testing.T) {
 			f.resultOut = "out.json"
 		}},
 		{"result-out in-process", func(f *cliFlags) { f.resultOut = "out.json" }},
+		{"routing lazy", func(f *cliFlags) { f.routing = "lazy"; f.routingRows = 128 }},
+		{"routing hier+clusters", func(f *cliFlags) { f.routing = "hier"; f.routingClusters = 8 }},
+		{"routing flat", func(f *cliFlags) { f.routing = "flat" }},
+		{"routing auto default", func(f *cliFlags) { f.routing = "auto" }},
 	}
 	for _, tc := range cases {
 		f := base()
@@ -82,6 +88,14 @@ func TestValidateFlagsRejects(t *testing.T) {
 			f.coordinator = ":1"
 		}, errCoordinatorWorkers},
 		{"workers without coordinator", func(f *cliFlags) { f.workers = 2 }, errWorkersNeedCoord},
+
+		{"unknown routing backend", func(f *cliFlags) { f.routing = "quantum" }, netgraph.ErrRoutingConfig},
+		{"negative lazy rows", func(f *cliFlags) { f.routing = "lazy"; f.routingRows = -1 }, netgraph.ErrRoutingConfig},
+		{"one cluster", func(f *cliFlags) { f.routing = "hier"; f.routingClusters = 1 }, netgraph.ErrRoutingConfig},
+		{"negative clusters", func(f *cliFlags) { f.routing = "hier"; f.routingClusters = -3 }, netgraph.ErrRoutingConfig},
+		{"worker+routing", func(f *cliFlags) {
+			*f = cliFlags{worker: ":1", routing: "lazy"}
+		}, errWorkerExclusive},
 	}
 	for _, tc := range cases {
 		f := base()

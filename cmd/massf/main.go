@@ -56,6 +56,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netdesc"
+	"repro/internal/netgraph"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
@@ -86,6 +87,10 @@ func main() {
 		record    = flag.String("record", "", "write the generated workload trace to this file")
 		replay    = flag.String("replay", "", "emulate a previously recorded workload trace instead of generating traffic")
 
+		routing         = flag.String("routing", "auto", "route oracle backend: auto | flat | lazy | hier")
+		routingRows     = flag.Int("routing-rows", 0, "lazy routing LRU row capacity (0 = automatic, sized for a 256 MB budget)")
+		routingClusters = flag.Int("routing-clusters", 0, "hierarchical routing cluster count (0 = automatic: per-AS when labeled, else ~(n²/2)^⅓)")
+
 		checkpoint = flag.Float64("checkpoint", 10, "barrier-checkpoint interval in virtual seconds (crash faults and distributed runs; membership changes apply at these barriers)")
 		naive      = flag.Bool("naive-recovery", false, "recover crashes by dumping onto one survivor instead of remapping")
 
@@ -111,6 +116,10 @@ func main() {
 	flag.Parse()
 
 	if err := validateFlags(cliFlags{
+		routing:         *routing,
+		routingRows:     *routingRows,
+		routingClusters: *routingClusters,
+
 		netfile:     *netfile,
 		engines:     *engines,
 		export:      *export,
@@ -169,6 +178,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Already validated above; resolve the oracle selection for the scenario.
+	sc.Routing, _ = routingOptions(*routing, *routingRows, *routingClusters)
 	if *netfile != "" {
 		f, err := os.Open(*netfile)
 		if err != nil {
@@ -473,6 +484,9 @@ func main() {
 
 // cliFlags is the subset of flag state the combination checks inspect.
 type cliFlags struct {
+	routing                      string
+	routingRows, routingClusters int
+
 	netfile, export        string
 	engines                int
 	topostats              bool
@@ -523,6 +537,7 @@ func validateFlags(f cliFlags) error {
 			f.topostats, f.record != "", f.replay != "", f.tracePath != "",
 			f.stats, f.metricsAddr != "", f.matrixOut != "", f.resultOut != "",
 			f.faults, f.elastic, f.capacity != 0,
+			f.routing != "" && f.routing != "auto", f.routingRows != 0, f.routingClusters != 0,
 		}
 		for _, set := range others {
 			if set {
@@ -597,7 +612,28 @@ func validateFlags(f cliFlags) error {
 	if f.metricsAddr != "" && f.metricsAddr == f.pprofAddr {
 		return errAddrClash
 	}
+	if _, err := routingOptions(f.routing, f.routingRows, f.routingClusters); err != nil {
+		return err
+	}
 	return nil
+}
+
+// routingOptions parses the -routing flags into the netgraph selection. The
+// returned errors wrap netgraph.ErrRoutingConfig, so callers and tests match
+// them with errors.Is.
+func routingOptions(backend string, rows, clusters int) (netgraph.RoutingOptions, error) {
+	if backend == "" {
+		backend = "auto"
+	}
+	b, err := netgraph.ParseBackend(backend)
+	if err != nil {
+		return netgraph.RoutingOptions{}, fmt.Errorf("-routing: %w", err)
+	}
+	o := netgraph.RoutingOptions{Backend: b, LazyRows: rows, Clusters: clusters}
+	if err := o.Validate(); err != nil {
+		return netgraph.RoutingOptions{}, err
+	}
+	return o, nil
 }
 
 func fatal(err error) {

@@ -61,8 +61,15 @@ type Scenario struct {
 	EmulatedTraceroute bool
 	// HierarchicalRouting routes with the two-level per-AS tables instead
 	// of flat network-wide shortest paths — the table-size regime behind
-	// the paper's 10 + x² router memory model.
+	// the paper's 10 + x² router memory model. Legacy knob: it folds into
+	// Routing as the Hier backend when Routing is left automatic.
 	HierarchicalRouting bool
+	// Routing selects the route-oracle backend and its parameters (see
+	// netgraph.RoutingOptions). The zero value is the automatic policy:
+	// flat tables up to netgraph.AutoFlatMaxNodes nodes, the lazy
+	// sub-quadratic oracle beyond. Set explicitly (or via WithRouting) to
+	// force flat, lazy, or hierarchical/clustered routing.
+	Routing netgraph.RoutingOptions
 	// Transport selects the flow release model (Blast or TCPSlowStart).
 	Transport emu.TransportMode
 	// EngineSpeeds optionally models a heterogeneous cluster: relative
@@ -106,9 +113,30 @@ type Scenario struct {
 	// without the telemetry plane.
 	NetFlowRemap bool
 
-	routes   netgraph.Routing
-	workload *traffic.Workload
-	appHosts []int
+	routes    netgraph.Routing
+	routesErr error
+	workload  *traffic.Workload
+	appHosts  []int
+}
+
+// ScenarioOption mutates a Scenario at construction time — the functional
+// options the facade exposes alongside direct field access.
+type ScenarioOption func(*Scenario)
+
+// WithRouting selects the scenario's route-oracle backend.
+func WithRouting(o netgraph.RoutingOptions) ScenarioOption {
+	return func(sc *Scenario) { sc.Routing = o }
+}
+
+// Configure applies options to the scenario and returns it, so callers can
+// chain construction: (&Scenario{...}).Configure(WithRouting(...)).
+func (sc *Scenario) Configure(opts ...ScenarioOption) *Scenario {
+	for _, o := range opts {
+		if o != nil {
+			o(sc)
+		}
+	}
+	return sc
 }
 
 // Outcome is the result of running one mapping approach on a scenario.
@@ -128,20 +156,29 @@ func (o *Outcome) Obs() *obs.RunStats { return o.Result.Obs }
 // the scenario collected none (see Scenario.CollectTelemetry).
 func (o *Outcome) Telemetry() *telemetry.Snapshot { return o.Result.Telemetry }
 
-// Routes returns (building once) the scenario's routing — flat shortest
-// paths by default, two-level per-AS tables when HierarchicalRouting is set.
-// It is the single memoized source every downstream consumer (mapping,
-// emulation, route discovery) reuses; the flat case additionally shares the
-// network's own cache, so a scenario never builds the O(n²) table twice.
-func (sc *Scenario) Routes() netgraph.Routing {
-	if sc.routes == nil {
-		if sc.HierarchicalRouting {
-			sc.routes = sc.Network.BuildHierarchicalRouting()
-		} else {
-			sc.routes = sc.Network.SharedRoutingTable()
-		}
+// routingOptions resolves the scenario's routing selection, folding the
+// legacy HierarchicalRouting flag into the Hier backend when Routing is left
+// automatic.
+func (sc *Scenario) routingOptions() netgraph.RoutingOptions {
+	o := sc.Routing
+	if sc.HierarchicalRouting && o.Backend == netgraph.Auto {
+		o.Backend = netgraph.Hier
 	}
-	return sc.routes
+	return o
+}
+
+// Routes returns (building once) the scenario's route oracle per the Routing
+// options — the automatic policy by default, two-level tables when
+// HierarchicalRouting (or the Hier backend) is set. It is the single
+// memoized source every downstream consumer (mapping, emulation, route
+// discovery) reuses; the oracle additionally lives in the network's own
+// shared cache, so a scenario never builds the same backend twice.
+// Infeasible options surface as an error wrapping netgraph.ErrRoutingConfig.
+func (sc *Scenario) Routes() (netgraph.Routing, error) {
+	if sc.routes == nil && sc.routesErr == nil {
+		sc.routes, sc.routesErr = sc.Network.SharedRouting(sc.routingOptions())
+	}
+	return sc.routes, sc.routesErr
 }
 
 // SpreadHosts picks n injection points spread evenly over the network's
@@ -215,25 +252,32 @@ func (sc *Scenario) Workload() (traffic.Workload, error) {
 
 // MappingInput exposes the approach-independent mapping parameters, for
 // callers driving mapping strategies (e.g. baselines) outside Run.
-func (sc *Scenario) MappingInput() mapping.Input { return sc.mappingInput() }
+func (sc *Scenario) MappingInput() (mapping.Input, error) { return sc.mappingInput() }
 
 // mappingInput assembles the approach-independent mapping parameters.
-func (sc *Scenario) mappingInput() mapping.Input {
+func (sc *Scenario) mappingInput() (mapping.Input, error) {
+	routes, err := sc.Routes()
+	if err != nil {
+		return mapping.Input{}, err
+	}
 	return mapping.Input{
 		Network:         sc.Network,
-		Routes:          sc.Routes(),
+		Routes:          routes,
 		K:               sc.Engines,
 		PartOpts:        partition.Options{Seed: sc.PartSeed},
 		LatencyPriority: sc.LatencyPriority,
 		Cluster:         sc.Cluster,
 		EngineFractions: sc.EngineSpeeds,
-	}
+	}, nil
 }
 
 // Partition computes the assignment for one approach without emulating.
 // For PROFILE this includes the profiling pre-run, which observes ctx.
 func (sc *Scenario) Partition(ctx context.Context, a mapping.Approach) ([]int, *emu.Result, error) {
-	in := sc.mappingInput()
+	in, err := sc.mappingInput()
+	if err != nil {
+		return nil, nil, err
+	}
 	switch a {
 	case mapping.Top:
 		part, err := mapping.TopMap(in)
@@ -301,7 +345,9 @@ func (sc *Scenario) RunAll(ctx context.Context) ([]*Outcome, error) {
 	if _, err := sc.Workload(); err != nil {
 		return nil, fmt.Errorf("core: %s: %w", sc.Name, err)
 	}
-	sc.Routes()
+	if _, err := sc.Routes(); err != nil {
+		return nil, fmt.Errorf("core: %s: %w", sc.Name, err)
+	}
 	sc.AppPlacement()
 
 	as := mapping.Approaches()
@@ -347,11 +393,19 @@ func (sc *Scenario) discoverRoutes(background []traffic.PairRate, appHosts []int
 	for _, h := range appHosts {
 		add(h)
 	}
-	interim, err := mapping.TopMap(sc.mappingInput())
+	in, err := sc.mappingInput()
 	if err != nil {
 		return nil, err
 	}
-	return emu.DiscoverRoutes(sc.Network, sc.Routes(), interim, sc.Engines, endpoints, true)
+	interim, err := mapping.TopMap(in)
+	if err != nil {
+		return nil, err
+	}
+	routes, err := sc.Routes()
+	if err != nil {
+		return nil, err
+	}
+	return emu.DiscoverRoutes(sc.Network, routes, interim, sc.Engines, endpoints, true)
 }
 
 // runOptions translates the scenario's observability and cancellation
@@ -389,13 +443,17 @@ func (sc *Scenario) emulate(ctx context.Context, assignment []int, profile bool)
 	if err != nil {
 		return nil, err
 	}
+	routes, err := sc.Routes()
+	if err != nil {
+		return nil, err
+	}
 	opts := sc.runOptions(ctx)
 	if tel := sc.newTelemetry(); tel != nil {
 		opts = append(opts, emu.WithTelemetry(tel))
 	}
 	return emu.Run(emu.Config{
 		Network:      sc.Network,
-		Routes:       sc.Routes(),
+		Routes:       routes,
 		Assignment:   assignment,
 		NumEngines:   sc.Engines,
 		Workload:     w,

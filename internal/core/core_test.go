@@ -298,8 +298,12 @@ func TestHeterogeneousEngines(t *testing.T) {
 		// Evaluate busy time under the heterogeneous hardware either way:
 		// the unaware scenario still runs on the same fast/slow engines.
 		w, _ := sc.Workload()
+		routes, err := sc.Routes()
+		if err != nil {
+			t.Fatal(err)
+		}
 		res, err := emu.Run(emu.Config{
-			Network: sc.Network, Routes: sc.Routes(), Assignment: o.Assignment,
+			Network: sc.Network, Routes: routes, Assignment: o.Assignment,
 			NumEngines: sc.Engines, Workload: w, EngineSpeeds: speeds,
 		})
 		if err != nil {

@@ -30,10 +30,14 @@ func (sc *Scenario) RunDistributed(ctx context.Context, a mapping.Approach, work
 	if err != nil {
 		return nil, err
 	}
+	routes, err := sc.Routes()
+	if err != nil {
+		return nil, err
+	}
 	spec := &dist.RunSpec{
 		Cfg: emu.Config{
 			Network:      sc.Network,
-			Routes:       sc.Routes(),
+			Routes:       routes,
 			Assignment:   part,
 			NumEngines:   sc.Engines,
 			Workload:     w,
@@ -43,9 +47,9 @@ func (sc *Scenario) RunDistributed(ctx context.Context, a mapping.Approach, work
 			EngineSpeeds: sc.EngineSpeeds,
 			Sequential:   sc.Sequential,
 		},
-		Hierarchical: sc.HierarchicalRouting,
-		Telemetry:    sc.newTelemetry(),
-		EmuOpts:      sc.runOptions(ctx),
+		Routing:   sc.routingOptions(),
+		Telemetry: sc.newTelemetry(),
+		EmuOpts:   sc.runOptions(ctx),
 		OnWorkerLoss: func(f emu.EngineFailure) ([]int, error) {
 			var survivors []int
 			for e, ok := range f.Alive {
@@ -53,7 +57,11 @@ func (sc *Scenario) RunDistributed(ctx context.Context, a mapping.Approach, work
 					survivors = append(survivors, e)
 				}
 			}
-			next, _, err := mapping.RemapSurvivors(sc.mappingInput(), f.Assignment, survivors, f.Loads)
+			in, err := sc.mappingInput()
+			if err != nil {
+				return nil, err
+			}
+			next, _, err := mapping.RemapSurvivors(in, f.Assignment, survivors, f.Loads)
 			return next, err
 		},
 	}

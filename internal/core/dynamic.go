@@ -120,10 +120,17 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 		return nil, fmt.Errorf("core: dynamic remapping needs a workload with a duration")
 	}
 
-	in := sc.mappingInput()
+	in, err := sc.mappingInput()
+	if err != nil {
+		return nil, err
+	}
 	assignment, err := mapping.TopMap(in)
 	if err != nil {
 		return nil, fmt.Errorf("core: dynamic initial partition: %w", err)
+	}
+	routes, err := sc.Routes()
+	if err != nil {
+		return nil, err
 	}
 
 	// The remap feed: measured telemetry by default, the NetFlow side-channel
@@ -154,7 +161,7 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 		}
 		segResult, err := emu.Run(emu.Config{
 			Network:    sc.Network,
-			Routes:     sc.Routes(),
+			Routes:     routes,
 			Assignment: assignment,
 			NumEngines: sc.Engines,
 			Workload:   seg,
@@ -191,7 +198,10 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 		// migrations) when IncrementalRemap is set.
 		incomingMigrations = 0
 		if end < duration && len(seg.Flows) > 0 {
-			in := sc.mappingInput()
+			in, err := sc.mappingInput()
+			if err != nil {
+				return nil, err
+			}
 			in.Summary = sc.segProfile(tel, segResult)
 			if sc.IncrementalRemap {
 				next, moved, err := mapping.ProfileImprove(in, assignment)

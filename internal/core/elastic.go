@@ -33,7 +33,10 @@ func (sc *Scenario) RunElastic(ctx context.Context, workers []dist.Conn, opt dis
 		return nil, nil, fmt.Errorf("core: %d initial workers × %d engines exceeds capacity %d",
 			len(workers), q, sc.Engines)
 	}
-	in := sc.mappingInput()
+	in, err := sc.mappingInput()
+	if err != nil {
+		return nil, nil, err
+	}
 	in.K = k0
 	part, err := mapping.TopMap(in)
 	if err != nil {
@@ -43,10 +46,14 @@ func (sc *Scenario) RunElastic(ctx context.Context, workers []dist.Conn, opt dis
 	if err != nil {
 		return nil, nil, err
 	}
+	routes, err := sc.Routes()
+	if err != nil {
+		return nil, nil, err
+	}
 	spec := &dist.RunSpec{
 		Cfg: emu.Config{
 			Network:      sc.Network,
-			Routes:       sc.Routes(),
+			Routes:       routes,
 			Assignment:   part,
 			NumEngines:   sc.Engines,
 			Workload:     w,
@@ -56,14 +63,18 @@ func (sc *Scenario) RunElastic(ctx context.Context, workers []dist.Conn, opt dis
 			EngineSpeeds: sc.EngineSpeeds,
 			Sequential:   sc.Sequential,
 		},
-		Hierarchical: sc.HierarchicalRouting,
+		Routing:      sc.routingOptions(),
 		Telemetry:    sc.newTelemetry(),
 		EmuOpts:      sc.runOptions(ctx),
 		OnWorkerLoss: sc.lossRemap(),
 	}
 	if opt.OnResize == nil {
 		opt.OnResize = func(ev emu.ResizeEvent) ([]int, error) {
-			next, _, err := mapping.RemapOnto(sc.mappingInput(), ev.Previous, ev.Engines, ev.Loads)
+			in, err := sc.mappingInput()
+			if err != nil {
+				return nil, err
+			}
+			next, _, err := mapping.RemapOnto(in, ev.Previous, ev.Engines, ev.Loads)
 			return next, err
 		}
 	}
@@ -91,7 +102,11 @@ func (sc *Scenario) lossRemap() func(emu.EngineFailure) ([]int, error) {
 			}
 		}
 		sort.Ints(survivors)
-		next, _, err := mapping.RemapOnto(sc.mappingInput(), f.Assignment, survivors, f.Loads)
+		in, err := sc.mappingInput()
+		if err != nil {
+			return nil, err
+		}
+		next, _, err := mapping.RemapOnto(in, f.Assignment, survivors, f.Loads)
 		return next, err
 	}
 }
@@ -128,9 +143,13 @@ func (sc *Scenario) ElasticReplayConfig(assignment []int, log *dist.MembershipLo
 	if err != nil {
 		return emu.Config{}, err
 	}
+	routes, err := sc.Routes()
+	if err != nil {
+		return emu.Config{}, err
+	}
 	cfg := emu.Config{
 		Network:      sc.Network,
-		Routes:       sc.Routes(),
+		Routes:       routes,
 		Assignment:   assignment,
 		NumEngines:   sc.Engines,
 		Workload:     w,

@@ -111,7 +111,11 @@ func (sc *Scenario) RunResilient(ctx context.Context, opts FaultOptions) (*Resil
 				survivors = append(survivors, e)
 			}
 		}
-		next, _, err := mapping.RemapSurvivors(sc.mappingInput(), f.Assignment, survivors, f.Loads)
+		in, err := sc.mappingInput()
+		if err != nil {
+			return nil, err
+		}
+		next, _, err := mapping.RemapSurvivors(in, f.Assignment, survivors, f.Loads)
 		return next, err
 	}
 
@@ -119,9 +123,13 @@ func (sc *Scenario) RunResilient(ctx context.Context, opts FaultOptions) (*Resil
 	if tel := sc.newTelemetry(); tel != nil {
 		runOpts = append(runOpts, emu.WithTelemetry(tel))
 	}
+	routes, err := sc.Routes()
+	if err != nil {
+		return nil, err
+	}
 	res, err := emu.Run(emu.Config{
 		Network:         sc.Network,
-		Routes:          sc.Routes(),
+		Routes:          routes,
 		Assignment:      part,
 		NumEngines:      sc.Engines,
 		Workload:        w,

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/mapping"
+	"repro/internal/netgraph"
+	"repro/internal/topogen"
+	"repro/internal/traffic"
+)
+
+// TestMemoryScalableRoutingEndToEnd is the tentpole acceptance test: a
+// 10⁵-router topology builds, partitions (TOP), and emulates end to end
+// through core with the automatic routing policy — which must have selected
+// the lazy oracle and stayed far below the flat table's 12·n² bytes
+// (~120 GB at this size; the whole point of the redesign).
+func TestMemoryScalableRoutingEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and partitions a 10⁵-router topology")
+	}
+	nw, err := topogen.ScaleFree(topogen.ScaleFreeConfig{
+		Routers: 100_000, Hosts: 200, LinksPerNewRouter: 2, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := &Scenario{Name: "scale-100k", Network: nw, Engines: 8, PartSeed: 7}
+
+	// A light workload between spread hosts: the lazy oracle only pays for
+	// the rows the flows actually touch.
+	hosts := SpreadHosts(nw, 40)
+	w := traffic.Workload{Duration: 5, AppHosts: hosts}
+	for i := 0; i < 20; i++ {
+		w.Flows = append(w.Flows, traffic.Flow{
+			ID: i, Src: hosts[i], Dst: hosts[(i+17)%len(hosts)],
+			Start: 0.1 * float64(i), Bytes: 1 << 20, Tag: "scale",
+		})
+	}
+	sc.SetWorkload(w)
+
+	o, err := sc.Run(context.Background(), mapping.Top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Result.AppTime <= 0 {
+		t.Fatalf("emulation did no work: %+v", o.Result)
+	}
+
+	routes, err := sc.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := routes.Stats()
+	if s.Backend != "lazy" {
+		t.Fatalf("auto policy picked %q at 10⁵ nodes, want lazy", s.Backend)
+	}
+	n := int64(nw.NumNodes())
+	flatBytes := 12 * n * n
+	if got := routes.MemoryBytes(); got >= flatBytes/100 {
+		t.Fatalf("routing holds %d bytes, not sub-quadratic (flat would be %d)", got, flatBytes)
+	}
+	if s.Misses == 0 {
+		t.Fatal("lazy oracle computed no rows — flows were not routed through it")
+	}
+	if sc.Network.RoutingBuilds() != 0 {
+		t.Fatalf("a dense table was built %d times on the 10⁵ topology", sc.Network.RoutingBuilds())
+	}
+}
+
+// TestLazyBackendMatchesFlatEndToEnd runs the identical Campus scenario under
+// the flat table and the lazy oracle: every result the emulator reports must
+// be identical, because lazy rows come from the same Dijkstra builder.
+func TestLazyBackendMatchesFlatEndToEnd(t *testing.T) {
+	run := func(o netgraph.RoutingOptions) *Outcome {
+		sc := campusScenario(false)
+		sc.Routing = o
+		out, err := sc.Run(context.Background(), mapping.Profile)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	flat := run(netgraph.RoutingOptions{Backend: netgraph.Flat})
+	lazy := run(netgraph.RoutingOptions{Backend: netgraph.Lazy, LazyRows: 16})
+
+	if !reflect.DeepEqual(flat.Assignment, lazy.Assignment) {
+		t.Fatal("flat and lazy produced different partitions")
+	}
+	fr, lr := flat.Result, lazy.Result
+	if fr.AppTime != lr.AppTime || fr.NetTime != lr.NetTime || fr.Imbalance != lr.Imbalance {
+		t.Fatalf("headline metrics differ: flat {%g %g %g}, lazy {%g %g %g}",
+			fr.AppTime, fr.NetTime, fr.Imbalance, lr.AppTime, lr.NetTime, lr.Imbalance)
+	}
+	if !reflect.DeepEqual(fr.EngineLoads, lr.EngineLoads) {
+		t.Fatal("per-engine loads differ between flat and lazy routing")
+	}
+	if !reflect.DeepEqual(fr.FlowFCTs, lr.FlowFCTs) {
+		t.Fatal("flow completion times differ between flat and lazy routing")
+	}
+}
+
+// TestScenarioConfigureWithRouting covers the functional option path into the
+// scenario and the -routing override semantics: an explicit backend wins over
+// the legacy HierarchicalRouting fold.
+func TestScenarioConfigureWithRouting(t *testing.T) {
+	sc := campusScenario(false).Configure(WithRouting(netgraph.RoutingOptions{Backend: netgraph.Lazy, LazyRows: 8}))
+	r, err := sc.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.Backend != "lazy" || s.Capacity != 8 {
+		t.Fatalf("WithRouting not applied: %+v", s)
+	}
+
+	// Legacy fold: HierarchicalRouting with automatic options selects Hier.
+	sc2 := campusScenario(false)
+	sc2.HierarchicalRouting = true
+	if got := sc2.routingOptions().Backend; got != netgraph.Hier {
+		t.Fatalf("HierarchicalRouting folded to %v, want Hier", got)
+	}
+	// But an explicit backend wins.
+	sc2.Routing.Backend = netgraph.Flat
+	if got := sc2.routingOptions().Backend; got != netgraph.Flat {
+		t.Fatalf("explicit backend overridden: %v", got)
+	}
+
+	// Invalid options surface as ErrRoutingConfig through the scenario.
+	sc3 := campusScenario(false)
+	sc3.Routing = netgraph.RoutingOptions{Backend: netgraph.Lazy, LazyRows: -5}
+	if _, err := sc3.Routes(); err == nil {
+		t.Fatal("invalid routing options must fail the run")
+	}
+}

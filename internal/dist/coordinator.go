@@ -10,6 +10,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/emu"
 	"repro/internal/faults"
+	"repro/internal/netgraph"
 	"repro/internal/telemetry"
 )
 
@@ -19,8 +20,8 @@ type RunSpec struct {
 	// and Faults must be unset (checkDistConfig), and OnCrash must be nil —
 	// worker-loss recovery supplies its own remapper via OnWorkerLoss.
 	Cfg emu.Config
-	// Hierarchical tells workers to rebuild the two-level per-AS routing.
-	Hierarchical bool
+	// Routing tells workers which route-oracle backend to rebuild.
+	Routing netgraph.RoutingOptions
 	// Telemetry, when non-nil, is the coordinator-side collector the workers'
 	// traffic-plane shares merge into (it feeds /metrics and ToProfile
 	// exactly as in-process).
@@ -154,7 +155,7 @@ func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res 
 	W := len(workers)
 	n := cfg.NumEngines
 
-	blob, err := EncodeSpec(&Spec{Cfg: cfg, Hierarchical: spec.Hierarchical, Telemetry: spec.Telemetry != nil})
+	blob, err := EncodeSpec(&Spec{Cfg: cfg, Routing: spec.Routing, Telemetry: spec.Telemetry != nil})
 	if err != nil {
 		return nil, err
 	}

@@ -179,7 +179,7 @@ func (s *elasticState) run(ctx context.Context, initial []Conn) (res *emu.Result
 	}()
 	cfg := s.spec.Cfg // normalized by RunElastic
 
-	blob, err := EncodeSpec(&Spec{Cfg: cfg, Hierarchical: s.spec.Hierarchical, Telemetry: s.spec.Telemetry != nil})
+	blob, err := EncodeSpec(&Spec{Cfg: cfg, Routing: s.spec.Routing, Telemetry: s.spec.Telemetry != nil})
 	if err != nil {
 		return nil, err
 	}

@@ -33,7 +33,7 @@ import (
 
 // Version is the protocol version; HELLO/ASSIGN carry it and any mismatch
 // aborts the handshake.
-const Version = 1
+const Version = 2
 
 // MaxFrame bounds a frame's payload (type byte included). It is sized for
 // the largest legitimate message — a full telemetry slow-state partial on a

@@ -386,8 +386,11 @@ func DecodeState(b []byte) (*emu.DistState, error) {
 // fault schedules never ship — checkDistConfig rejects them.
 type Spec struct {
 	Cfg emu.Config
-	// Hierarchical selects the two-level per-AS routing tables.
-	Hierarchical bool
+	// Routing selects the route-oracle backend the worker rebuilds. The raw
+	// (un-normalized) options ship on the wire; both sides normalize against
+	// the same node count, so coordinator and workers always resolve the
+	// same backend.
+	Routing netgraph.RoutingOptions
 	// Telemetry tells the worker to run a collector so its share of the
 	// traffic plane can be merged at each barrier.
 	Telemetry bool
@@ -450,7 +453,9 @@ func EncodeSpec(s *Spec) ([]byte, error) {
 	e.f64(cfg.MinLookahead)
 	e.boolean(cfg.Sequential)
 	e.f64(cfg.MigrationCost)
-	e.boolean(s.Hierarchical)
+	e.u8(uint8(s.Routing.Backend))
+	e.i64(int64(s.Routing.LazyRows))
+	e.i64(int64(s.Routing.Clusters))
 	e.boolean(s.Telemetry)
 	return e.buf, nil
 }
@@ -460,8 +465,8 @@ func EncodeSpec(s *Spec) ([]byte, error) {
 func SpecHash(blob []byte) [32]byte { return sha256.Sum256(blob) }
 
 // DecodeSpec rebuilds the scenario. The returned config's Routes field is
-// left nil for flat routing (the emulator builds the shared table) and set
-// to the hierarchical table when the spec says so.
+// set to the oracle the spec's RoutingOptions select, resolved through the
+// rebuilt network's shared routing cache.
 func DecodeSpec(b []byte) (*Spec, error) {
 	d := decoder{buf: b}
 	if v := d.u32("spec.version"); d.err == nil && v != Version {
@@ -530,13 +535,17 @@ func DecodeSpec(b []byte) (*Spec, error) {
 	cfg.MinLookahead = d.f64("spec.minLookahead")
 	cfg.Sequential = d.boolean("spec.sequential")
 	cfg.MigrationCost = d.f64("spec.migrationCost")
-	s.Hierarchical = d.boolean("spec.hierarchical")
+	s.Routing.Backend = netgraph.Backend(d.u8("spec.routing.backend"))
+	s.Routing.LazyRows = int(d.i64("spec.routing.lazyRows"))
+	s.Routing.Clusters = int(d.i64("spec.routing.clusters"))
 	s.Telemetry = d.boolean("spec.telemetry")
 	if err := d.finish(); err != nil {
 		return nil, err
 	}
-	if s.Hierarchical {
-		cfg.Routes = nw.BuildHierarchicalRouting()
+	routes, err := nw.SharedRouting(s.Routing)
+	if err != nil {
+		return nil, fmt.Errorf("dist: spec routing: %w", err)
 	}
+	cfg.Routes = routes
 	return s, nil
 }

@@ -47,7 +47,7 @@ func testSpec(t *testing.T) *Spec {
 
 func TestSpecRoundTrip(t *testing.T) {
 	s := testSpec(t)
-	s.Hierarchical = false
+	s.Routing = netgraph.RoutingOptions{Backend: netgraph.Lazy, LazyRows: 3}
 	s.Telemetry = true
 	blob, err := EncodeSpec(s)
 	if err != nil {
@@ -82,8 +82,11 @@ func TestSpecRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(got.Cfg.Assignment, s.Cfg.Assignment) {
 		t.Fatal("assignment did not survive")
 	}
-	if !got.Telemetry || got.Hierarchical {
+	if !got.Telemetry || got.Routing != s.Routing {
 		t.Fatal("flags did not survive")
+	}
+	if got.Cfg.Routes == nil || got.Cfg.Routes.Stats().Backend != "lazy" {
+		t.Fatalf("decoded spec did not resolve the lazy oracle: %+v", got.Cfg.Routes)
 	}
 }
 

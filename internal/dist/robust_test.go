@@ -55,9 +55,13 @@ func distSpec(t *testing.T) *dist.RunSpec {
 	if err != nil {
 		t.Fatal(err)
 	}
+	routes, err := sc.Routes()
+	if err != nil {
+		t.Fatal(err)
+	}
 	return &dist.RunSpec{Cfg: emu.Config{
 		Network:    sc.Network,
-		Routes:     sc.Routes(),
+		Routes:     routes,
 		Assignment: part,
 		NumEngines: sc.Engines,
 		Workload:   w,

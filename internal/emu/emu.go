@@ -84,7 +84,9 @@ func (c CostModel) withDefaults() CostModel {
 type Config struct {
 	// Network is the virtual topology. Required.
 	Network *netgraph.Network
-	// Routes is the routing table; built from Network when nil.
+	// Routes is the route oracle; when nil the run uses the network's
+	// shared automatic backend (flat below netgraph.AutoFlatMaxNodes nodes,
+	// lazy beyond). WithRouting overrides it per run.
 	Routes netgraph.Routing
 	// Assignment maps every node to a simulation engine in [0, NumEngines).
 	// Required.
@@ -352,11 +354,15 @@ func prepare(cfg *Config, o *runOptions) (*emulation, error) {
 	rec, runStats := o.recorder()
 	nw := cfg.Network
 	rt := cfg.Routes
+	if o.routes != nil {
+		rt = o.routes
+	}
 	if rt == nil {
 		// Callers running a pipeline should thread one Routing through
 		// (core.Scenario.Routes() is the memoized source); the shared cache
-		// keeps even bare emu.Run loops from rebuilding the O(n²) table.
-		rt = nw.SharedRoutingTable()
+		// keeps even bare emu.Run loops from rebuilding routing, and the
+		// automatic policy keeps large topologies off the O(n²) flat table.
+		rt = nw.AutoRouting()
 	}
 
 	// Resolve flow routes up front; routes are static for a run.

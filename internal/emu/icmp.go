@@ -68,7 +68,7 @@ type tracerouteRun struct {
 // maxTTL bounds the probe count (default 32 when <= 0).
 func RunTraceroute(nw *netgraph.Network, rt netgraph.Routing, assignment []int, numEngines, src, dst, maxTTL int) (*TracerouteResult, error) {
 	if rt == nil {
-		rt = nw.SharedRoutingTable()
+		rt = nw.AutoRouting()
 	}
 	if maxTTL <= 0 {
 		maxTTL = 32
@@ -253,7 +253,7 @@ func orderedPairs(nodes []int) [][2]int {
 // the number of traceroute executions from O(h²) to O(r²).
 func DiscoverRoutes(nw *netgraph.Network, rt netgraph.Routing, assignment []int, numEngines int, endpoints []int, representatives bool) (map[[2]int][]int, error) {
 	if rt == nil {
-		rt = nw.SharedRoutingTable()
+		rt = nw.AutoRouting()
 	}
 
 	if !representatives {

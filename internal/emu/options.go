@@ -3,6 +3,7 @@ package emu
 import (
 	"context"
 
+	"repro/internal/netgraph"
 	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
@@ -18,6 +19,7 @@ type runOptions struct {
 	stats     bool
 	cost      *CostModel
 	tel       *telemetry.Collector
+	routes    netgraph.Routing
 }
 
 func (o *runOptions) apply(opts []Option) {
@@ -73,6 +75,19 @@ func WithCostModel(c CostModel) Option {
 // ignored — the hot path then stays on its zero-allocation disabled branch.
 func WithTelemetry(c *telemetry.Collector) Option {
 	return func(o *runOptions) { o.tel = c }
+}
+
+// WithRouting overrides the run's route oracle (taking precedence over
+// Config.Routes). Any netgraph.Routing backend works — the flat table, the
+// lazy per-source oracle, or a hierarchical/clustered table; the emulator
+// resolves every flow's path through it once, up front, so oracle query cost
+// never touches the kernel hot loop. A nil oracle is ignored.
+func WithRouting(r netgraph.Routing) Option {
+	return func(o *runOptions) {
+		if r != nil {
+			o.routes = r
+		}
+	}
 }
 
 // WithContext threads a cancellation context through the run. Cancellation

@@ -35,11 +35,16 @@ func Baselines(cfg Config) ([]BaselineRow, error) {
 		return nil, err
 	}
 
+	routes, err := sc.Routes()
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []BaselineRow
 	evaluate := func(a mapping.Approach, assignment []int) error {
 		res, err := emu.Run(emu.Config{
 			Network:    sc.Network,
-			Routes:     sc.Routes(),
+			Routes:     routes,
 			Assignment: assignment,
 			NumEngines: sc.Engines,
 			Workload:   w,
@@ -59,7 +64,10 @@ func Baselines(cfg Config) ([]BaselineRow, error) {
 
 	// Baselines first (traffic-blind), then the paper's approaches.
 	for _, a := range mapping.BaselineApproaches() {
-		in := sc.MappingInput()
+		in, err := sc.MappingInput()
+		if err != nil {
+			return nil, fmt.Errorf("baseline %s: %w", a, err)
+		}
 		part, err := mapping.MapAny(a, in)
 		if err != nil {
 			return nil, fmt.Errorf("baseline %s: %w", a, err)

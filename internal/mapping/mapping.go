@@ -115,7 +115,10 @@ func (in *Input) defaults() error {
 		return fmt.Errorf("%w: K = %d, must be >= 1", ErrBadInput, in.K)
 	}
 	if in.Routes == nil {
-		in.Routes = in.Network.SharedRoutingTable()
+		// The automatic backend keeps a huge topology off the O(n²) flat
+		// table; the paper-scale topologies still get the exact flat table
+		// from the same shared cache.
+		in.Routes = in.Network.AutoRouting()
 	}
 	if in.LatencyPriority <= 0 || in.LatencyPriority >= 1 {
 		in.LatencyPriority = DefaultLatencyPriority
@@ -131,12 +134,23 @@ func (in *Input) defaults() error {
 	}
 	// Mapping quality matters more than mapping speed here (the paper's
 	// partitions are computed offline); spend more partitioner effort than
-	// the library defaults.
+	// the library defaults. Beyond largeGraphNodes that budget would take
+	// the multilevel partitioner from seconds to hours, so huge topologies
+	// drop to a lean effort profile instead.
+	large := in.Network.NumNodes() >= largeGraphNodes
 	if in.PartOpts.Restarts == 0 {
-		in.PartOpts.Restarts = 20
+		if large {
+			in.PartOpts.Restarts = 2
+		} else {
+			in.PartOpts.Restarts = 20
+		}
 	}
 	if in.PartOpts.RefinePasses == 0 {
-		in.PartOpts.RefinePasses = 16
+		if large {
+			in.PartOpts.RefinePasses = 4
+		} else {
+			in.PartOpts.RefinePasses = 16
+		}
 	}
 	if len(in.EngineFractions) == in.K && in.PartOpts.PartFractions == nil {
 		var sum float64
@@ -244,16 +258,27 @@ func memoryWeights(nw *netgraph.Network, g *partition.Graph, con int) {
 // predicted load, PROFILE with measured load.
 const mappingTrials = 5
 
-// selectBest runs the partition function for mappingTrials seeds and keeps
-// the candidate with the smallest max-norm balance violation on g's
-// constraints, breaking ties toward the lower cut under cutWeights.
+// largeGraphNodes is the node count beyond which the mapping pipeline
+// switches to its lean effort profile (fewer partitioner restarts and
+// refinement passes, a single mapping trial): at 10⁵+ nodes the default
+// budget multiplies a seconds-long multilevel run by ~100×.
+const largeGraphNodes = 20000
+
+// selectBest runs the partition function for mappingTrials seeds (one seed
+// on very large graphs) and keeps the candidate with the smallest max-norm
+// balance violation on g's constraints, breaking ties toward the lower cut
+// under cutWeights.
 func selectBest(g *partition.Graph, cutWeights partition.EdgeWeightSet, k int, opts partition.Options,
 	run func(partition.Options) ([]int, error)) ([]int, error) {
 
+	trials := mappingTrials
+	if g.NumVertices() >= largeGraphNodes {
+		trials = 1
+	}
 	var best []int
 	var bestBal float64
 	var bestCut int64
-	for trial := 0; trial < mappingTrials; trial++ {
+	for trial := 0; trial < trials; trial++ {
 		o := opts
 		o.Seed = opts.Seed + int64(trial)*7919
 		part, err := run(o)

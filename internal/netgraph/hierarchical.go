@@ -1,64 +1,54 @@
 package netgraph
 
 import (
+	"fmt"
 	"math"
 	"sort"
 
 	"repro/internal/parallel"
-)
-
-// Routing is the routing interface the emulator and the mapping approaches
-// consume: a next-hop oracle plus path metrics. RoutingTable (flat
-// shortest-path) and HierarchicalTable (two-level, per-AS) both implement
-// it.
-type Routing interface {
-	// NextLink returns the first-hop link from src toward dst, or -1 when
-	// src == dst or dst is unreachable.
-	NextLink(src, dst int) int
-	// Distance returns the total latency of the routed path (+Inf if
-	// unreachable, 0 for src == dst).
-	Distance(src, dst int) float64
-}
-
-var (
-	_ Routing = (*RoutingTable)(nil)
-	_ Routing = (*HierarchicalTable)(nil)
+	"repro/internal/partition"
 )
 
 // HierarchicalTable routes in two levels, the way MaSSF's AS-structured
 // networks do (and the reason the paper's router memory model is
 // m = 10 + x² with x the AS router count, §2.2.2):
 //
-//   - within an AS, nodes follow latency-shortest paths computed over the
-//     AS's own subgraph only — each node's table is O(per-AS nodes²), not
-//     O(network²);
-//   - across ASes, an AS-level shortest-path table picks the next AS and the
-//     border link into it; inside the current AS, traffic steers to that
-//     border link's local endpoint.
+//   - within a group (an AS, or an auto-generated cluster), nodes follow
+//     latency-shortest paths computed over the group's own subgraph only —
+//     each node's table is O(per-group nodes²), not O(network²);
+//   - across groups, a group-level shortest-path table picks the next group
+//     and the border link into it; inside the current group, traffic steers
+//     to that border link's local endpoint.
 //
-// Routes are loop-free (the AS-level path strictly progresses and intra-AS
+// Total memory is O(Σ group² + groups²) — with balanced auto-clustering at
+// C ≈ (n²/2)^(1/3) groups that is O(n^(4/3)), sub-quadratic. Routes are
+// loop-free (the group-level path strictly progresses and intra-group
 // shortest paths toward a fixed gateway are consistent) but can be longer
 // than flat shortest paths — exactly the inflation hierarchical routing
 // trades for table size.
 type HierarchicalTable struct {
 	nw *Network
-	// asOf[n] is the AS of node n.
+	// kind labels the grouping for Stats: "hier-as" or "hier-cluster".
+	kind string
+	// asOf[n] is the group label of node n (the AS number for per-AS tables,
+	// a cluster id for auto-clustered ones).
 	asOf []int
-	// asIDs is the sorted list of distinct AS numbers; asIdx maps AS -> index.
+	// asIDs is the sorted list of distinct labels; asIdx maps label -> index.
 	asIDs []int
 	asIdx map[int]int
-	// intra[a] holds the intra-AS routing for AS index a: next-hop link and
-	// distance between the AS's member nodes (indexed by member position).
+	// intra[a] holds the intra-group routing for group index a: next-hop link
+	// and distance between the group's member nodes (indexed by member
+	// position).
 	intra []intraTable
-	// member[a] lists node IDs of AS index a; memberIdx[n] is n's position
-	// within its AS.
+	// member[a] lists node IDs of group index a; memberIdx[n] is n's position
+	// within its group.
 	member    [][]int
 	memberIdx []int
-	// nextAS[a*len(asIDs)+b] is the next AS index on the path a -> b, -1 if
-	// unreachable or a == b.
+	// nextAS[a*len(asIDs)+b] is the next group index on the path a -> b, -1
+	// if unreachable or a == b.
 	nextAS []int
-	// gateway[a*len(asIDs)+b] is the border link used to leave AS index a
-	// toward (neighboring, next) AS index b.
+	// gateway[a*len(asIDs)+b] is the border link used to leave group index a
+	// toward (neighboring, next) group index b.
 	gateway []int32
 }
 
@@ -67,10 +57,10 @@ type intraTable struct {
 	dist     []float64
 }
 
-// BuildHierarchicalRouting constructs the two-level table, computing the
-// per-AS intra tables concurrently (GOMAXPROCS workers). Nodes keep their
-// Node.AS assignment; every AS subgraph should be internally connected for
-// full reachability (nodes that cannot reach their AS border are simply
+// BuildHierarchicalRouting constructs the two-level table over the nodes'
+// Node.AS labels, computing the per-AS intra tables concurrently (GOMAXPROCS
+// workers). Every AS subgraph should be internally connected for full
+// reachability (nodes that cannot reach their AS border are simply
 // unreachable from outside, mirroring a real misconfigured AS).
 func (nw *Network) BuildHierarchicalRouting() *HierarchicalTable {
 	return nw.BuildHierarchicalRoutingParallel(0)
@@ -81,20 +71,75 @@ func (nw *Network) BuildHierarchicalRouting() *HierarchicalTable {
 // GOMAXPROCS, 1 the exact sequential build. Each AS writes only its own
 // intra-table slot, so the result is identical regardless of worker count.
 func (nw *Network) BuildHierarchicalRoutingParallel(workers int) *HierarchicalTable {
+	labels := make([]int, len(nw.Nodes))
+	for _, node := range nw.Nodes {
+		labels[node.ID] = node.AS
+	}
+	return nw.buildTwoLevel(labels, workers, "hier-as")
+}
+
+// BuildClusteredRouting constructs the two-level table for a topology
+// without (usable) AS labels: nodes are grouped into at most clusters
+// internally-connected clusters by the multilevel partitioner's heavy-edge
+// coarsening over link proximity (low latency = strong affinity), and the
+// two-level machinery runs over those labels. Cluster counts below 2 are
+// rejected with ErrRoutingConfig. The clustering is deterministic for a
+// given topology.
+func (nw *Network) BuildClusteredRouting(clusters int) (*HierarchicalTable, error) {
+	return nw.BuildClusteredRoutingParallel(clusters, 0)
+}
+
+// BuildClusteredRoutingParallel is BuildClusteredRouting with an explicit
+// worker count for the per-cluster fan-out.
+func (nw *Network) BuildClusteredRoutingParallel(clusters, workers int) (*HierarchicalTable, error) {
+	if clusters < 2 {
+		return nil, fmt.Errorf("%w: cluster count %d, must be >= 2", ErrRoutingConfig, clusters)
+	}
+	return nw.buildTwoLevel(nw.clusterLabels(clusters), workers, "hier-cluster"), nil
+}
+
+// clusterLabels groups the nodes into at most k clusters by coarsening the
+// proximity graph: edge weight ∝ 1/latency, so low-latency neighborhoods
+// collapse together first — the same heavy-edge heuristic the partitioner's
+// first phase uses, which guarantees internally-connected clusters.
+func (nw *Network) clusterLabels(k int) []int {
+	g := partition.NewGraph(len(nw.Nodes), 1)
+	for _, l := range nw.Links {
+		lat := l.Latency
+		if lat < 1e-6 {
+			lat = 1e-6
+		}
+		w := int64(1e-2 / lat)
+		if w < 1 {
+			w = 1
+		}
+		if w > 1e6 {
+			w = 1e6
+		}
+		g.AddEdge(l.A, l.B, w)
+	}
+	// Fixed seed: the clustering is part of the deterministic routing build
+	// (distributed workers must reproduce the coordinator's table exactly).
+	return partition.Cluster(g, k, 1)
+}
+
+// buildTwoLevel builds the two-level table over arbitrary group labels
+// (labels[n] is node n's group).
+func (nw *Network) buildTwoLevel(labels []int, workers int, kind string) *HierarchicalTable {
 	nw.builds.Add(1)
 	n := len(nw.Nodes)
 	h := &HierarchicalTable{
 		nw:        nw,
-		asOf:      make([]int, n),
+		kind:      kind,
+		asOf:      labels,
 		asIdx:     make(map[int]int),
 		memberIdx: make([]int, n),
 	}
 	seen := map[int]bool{}
 	for _, node := range nw.Nodes {
-		h.asOf[node.ID] = node.AS
-		if !seen[node.AS] {
-			seen[node.AS] = true
-			h.asIDs = append(h.asIDs, node.AS)
+		if !seen[labels[node.ID]] {
+			seen[labels[node.ID]] = true
+			h.asIDs = append(h.asIDs, labels[node.ID])
 		}
 	}
 	sort.Ints(h.asIDs)
@@ -104,13 +149,13 @@ func (nw *Network) BuildHierarchicalRoutingParallel(workers int) *HierarchicalTa
 	numAS := len(h.asIDs)
 	h.member = make([][]int, numAS)
 	for _, node := range nw.Nodes {
-		a := h.asIdx[node.AS]
+		a := h.asIdx[labels[node.ID]]
 		h.memberIdx[node.ID] = len(h.member[a])
 		h.member[a] = append(h.member[a], node.ID)
 	}
 
-	// Intra-AS shortest paths per AS subgraph, one independent Dijkstra
-	// sweep per AS; each worker reuses one scratch across its ASes.
+	// Intra-group shortest paths per subgraph, one independent Dijkstra
+	// sweep per group; each worker reuses one scratch across its groups.
 	h.intra = make([]intraTable, numAS)
 	w := parallel.Workers(workers, numAS)
 	scratches := make([]*dijkstraScratch, w)
@@ -123,7 +168,7 @@ func (nw *Network) BuildHierarchicalRoutingParallel(workers int) *HierarchicalTa
 		h.intra[a] = nw.intraDijkstraAll(h, a, s)
 	})
 
-	// AS-level graph: min-latency border link per AS pair.
+	// Group-level graph: min-latency border link per group pair.
 	type asEdge struct {
 		latency float64
 		link    int32
@@ -142,36 +187,66 @@ func (nw *Network) BuildHierarchicalRoutingParallel(workers int) *HierarchicalTa
 		}
 	}
 
-	// AS-level all-pairs shortest paths (Floyd–Warshall on the small AS
-	// graph), tracking the first AS hop.
-	const inf = math.MaxFloat64
-	dist := make([]float64, numAS*numAS)
+	// Group-level all-pairs shortest paths, tracking the first group hop.
+	// One Dijkstra per source group over the border graph — O(C·E_C·log C)
+	// instead of Floyd–Warshall's O(C³), which matters once auto-clustering
+	// pushes C into the thousands.
+	type interEdge struct {
+		to  int
+		lat float64
+	}
+	adj := make([][]interEdge, numAS)
+	keys := make([][2]int, 0, len(border))
+	for key := range border {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
+		}
+		return keys[i][1] < keys[j][1]
+	})
+	for _, key := range keys {
+		adj[key[0]] = append(adj[key[0]], interEdge{to: key[1], lat: border[key].latency})
+	}
 	next := make([]int, numAS*numAS)
-	for i := range dist {
-		dist[i] = inf
+	for i := range next {
 		next[i] = -1
 	}
+	s := newDijkstraScratch(numAS)
+	dist := make([]float64, numAS)
 	for a := 0; a < numAS; a++ {
-		dist[a*numAS+a] = 0
-	}
-	for key, e := range border {
-		a, b := key[0], key[1]
-		if e.latency < dist[a*numAS+b] {
-			dist[a*numAS+b] = e.latency
-			next[a*numAS+b] = b
+		for i := range dist {
+			dist[i] = math.Inf(1)
 		}
-	}
-	for k := 0; k < numAS; k++ {
-		for i := 0; i < numAS; i++ {
-			ik := dist[i*numAS+k]
-			if ik == inf {
+		s.reset(numAS)
+		firstHop, done := s.firstLink, s.done
+		dist[a] = 0
+		s.push(pqItem{node: a})
+		for len(s.heap) > 0 {
+			v := s.pop().node
+			if done[v] {
 				continue
 			}
-			for j := 0; j < numAS; j++ {
-				if kj := dist[k*numAS+j]; kj != inf && ik+kj < dist[i*numAS+j] {
-					dist[i*numAS+j] = ik + kj
-					next[i*numAS+j] = next[i*numAS+k]
+			done[v] = true
+			for _, e := range adj[v] {
+				nd := dist[v] + e.lat
+				f := firstHop[v]
+				if v == a {
+					f = int32(e.to)
 				}
+				// Deterministic tie-break on the first next-group index.
+				if nd < dist[e.to] || (nd == dist[e.to] && !done[e.to] && firstHop[e.to] > f) {
+					dist[e.to] = nd
+					firstHop[e.to] = f
+					s.push(pqItem{node: e.to, dist: nd})
+				}
+			}
+		}
+		row := next[a*numAS : a*numAS+numAS]
+		for b := 0; b < numAS; b++ {
+			if b != a {
+				row[b] = int(firstHop[b])
 			}
 		}
 	}
@@ -186,8 +261,8 @@ func (nw *Network) BuildHierarchicalRoutingParallel(workers int) *HierarchicalTa
 	return h
 }
 
-// intraDijkstraAll computes all-pairs next-hop routing within one AS
-// subgraph, reusing the caller's scratch across the AS's sources.
+// intraDijkstraAll computes all-pairs next-hop routing within one group
+// subgraph, reusing the caller's scratch across the group's sources.
 func (nw *Network) intraDijkstraAll(h *HierarchicalTable, a int, s *dijkstraScratch) intraTable {
 	members := h.member[a]
 	m := len(members)
@@ -258,7 +333,7 @@ func (h *HierarchicalTable) NextLink(src, dst int) int {
 		return -1
 	}
 	l := h.nw.Links[gw]
-	// The gateway link's endpoint inside this AS.
+	// The gateway link's endpoint inside this group.
 	exit := l.A
 	if h.asIdx[h.asOf[exit]] != a {
 		exit = l.B
@@ -291,9 +366,40 @@ func (h *HierarchicalTable) Distance(src, dst int) float64 {
 	return math.Inf(1) // defensive: should be unreachable
 }
 
+// MemoryBytes implements Routing: the per-group intra tables (12 bytes per
+// intra pair) plus the group-level next-group and gateway matrices.
+func (h *HierarchicalTable) MemoryBytes() int64 {
+	var b int64
+	for _, t := range h.intra {
+		b += int64(len(t.nextLink))*4 + int64(len(t.dist))*8
+	}
+	b += int64(len(h.nextAS)) * 8
+	b += int64(len(h.gateway)) * 4
+	b += int64(len(h.asOf))*8 + int64(len(h.memberIdx))*8
+	for _, m := range h.member {
+		b += int64(len(m)) * 8
+	}
+	return b
+}
+
+// Stats implements Routing.
+func (h *HierarchicalTable) Stats() RoutingStats {
+	n := len(h.asOf)
+	return RoutingStats{
+		Backend:     h.kind,
+		MemoryBytes: h.MemoryBytes(),
+		Sources:     n,
+		Capacity:    n,
+	}
+}
+
+// Clusters returns the number of groups (ASes or auto-generated clusters)
+// the table routes between.
+func (h *HierarchicalTable) Clusters() int { return len(h.asIDs) }
+
 // TableEntries returns the number of routing-table entries node n must hold
-// under hierarchical routing: per-AS all-pairs entries plus one entry per
-// foreign AS — the quantity the paper's 10 + x² memory weight models.
+// under hierarchical routing: per-group all-pairs entries plus one entry per
+// foreign group — the quantity the paper's 10 + x² memory weight models.
 func (h *HierarchicalTable) TableEntries(n int) int {
 	a := h.asIdx[h.asOf[n]]
 	return len(h.member[a]) + (len(h.asIDs) - 1)

@@ -83,15 +83,17 @@ type Network struct {
 	// adj[n] lists link IDs incident to node n.
 	adj [][]int
 
-	// Shared routing cache (SharedRoutingTable): the memoized flat table,
-	// invalidated by topology mutations via gen. builds counts every full
-	// routing construction (flat or hierarchical) for the tests asserting
-	// that pipelines reuse one table instead of rebuilding O(n²) state.
-	mu        sync.Mutex
-	gen       int64
-	cachedGen int64
-	cachedRT  *RoutingTable
-	builds    atomic.Int64
+	// Shared routing cache (SharedRouting / SharedRoutingTable): memoized
+	// oracles keyed by normalized RoutingOptions, invalidated by topology
+	// mutations via gen. gen is atomic so long-lived oracles (LazyRouting)
+	// can cheaply detect staleness on every query without taking mu. builds
+	// counts every full routing construction (flat or hierarchical) for the
+	// tests asserting that pipelines reuse one table instead of rebuilding
+	// O(n²) state.
+	mu     sync.Mutex
+	gen    atomic.Int64
+	shared map[RoutingOptions]sharedEntry
+	builds atomic.Int64
 }
 
 // New returns an empty network with the given name.
@@ -117,11 +119,12 @@ func (nw *Network) addNode(n Node) int {
 	return n.ID
 }
 
-// invalidateRouting marks any cached routing stale after a topology mutation.
+// invalidateRouting marks any cached routing stale after a topology
+// mutation: SharedRouting drops every memoized backend (flat, lazy,
+// hierarchical) on the next lookup, and live LazyRouting oracles purge their
+// cached rows on the next query.
 func (nw *Network) invalidateRouting() {
-	nw.mu.Lock()
-	nw.gen++
-	nw.mu.Unlock()
+	nw.gen.Add(1)
 }
 
 // SetSite labels node n with a site.
@@ -336,10 +339,6 @@ func (nw *Network) BuildRoutingTableParallel(workers int) *RoutingTable {
 		nextLink: make([]int32, n*n),
 		dist:     make([]float64, n*n),
 	}
-	for i := range rt.nextLink {
-		rt.nextLink[i] = -1
-		rt.dist[i] = math.Inf(1)
-	}
 	w := parallel.Workers(workers, n)
 	scratches := make([]*dijkstraScratch, w)
 	parallel.ForEachWorker(n, w, func(worker, src int) {
@@ -348,25 +347,25 @@ func (nw *Network) BuildRoutingTableParallel(workers int) *RoutingTable {
 			s = newDijkstraScratch(n)
 			scratches[worker] = s
 		}
-		nw.dijkstra(src, rt, s)
+		base := src * n
+		nw.dijkstraRow(src, rt.nextLink[base:base+n], rt.dist[base:base+n], s)
 	})
 	return rt
 }
 
 // SharedRoutingTable returns the network's memoized flat routing table,
-// building it on first use and after any topology mutation. It is the single
-// fallback every nil-Routes code path (emu.Run, the ICMP discovery, the
-// mapping approaches) shares, so a pipeline that never threads a table
-// explicitly still pays the O(n²) construction at most once. Safe for
+// building it on first use and after any topology mutation. It is the
+// flat-specific entry of the SharedRouting cache, kept for callers that need
+// the dense table itself; size-agnostic code should use SharedRouting or
+// AutoRouting, which stay sub-quadratic on large topologies. Safe for
 // concurrent use; do not mutate the topology while runs are in flight.
 func (nw *Network) SharedRoutingTable() *RoutingTable {
-	nw.mu.Lock()
-	defer nw.mu.Unlock()
-	if nw.cachedRT == nil || nw.cachedGen != nw.gen {
-		nw.cachedRT = nw.BuildRoutingTable()
-		nw.cachedGen = nw.gen
+	r, err := nw.SharedRouting(RoutingOptions{Backend: Flat})
+	if err != nil {
+		// Flat options always validate and the dense build cannot fail.
+		panic(fmt.Sprintf("netgraph: SharedRoutingTable: %v", err))
 	}
-	return nw.cachedRT
+	return r.(*RoutingTable)
 }
 
 // RoutingBuilds reports how many full routing constructions (flat or
@@ -479,10 +478,15 @@ func (s *dijkstraScratch) pop() pqItem {
 	return it
 }
 
-func (nw *Network) dijkstra(src int, rt *RoutingTable, s *dijkstraScratch) {
+// dijkstraRow computes one source's next-hop and distance row into the
+// caller's slices (each of length n). It is the single row builder the flat
+// all-pairs table and the lazy oracle share, which is what makes their rows
+// byte-identical: same heap, same deterministic first-hop-link tie-break.
+func (nw *Network) dijkstraRow(src int, next []int32, dist []float64, s *dijkstraScratch) {
 	n := len(nw.Nodes)
-	base := src * n
-	dist := rt.dist[base : base+n]
+	for i := range dist {
+		dist[i] = math.Inf(1)
+	}
 	s.reset(n)
 	firstLink, done := s.firstLink, s.done
 	dist[src] = 0
@@ -510,8 +514,8 @@ func (nw *Network) dijkstra(src int, rt *RoutingTable, s *dijkstraScratch) {
 			}
 		}
 	}
-	copy(rt.nextLink[base:base+n], firstLink)
-	rt.nextLink[base+src] = -1
+	copy(next, firstLink)
+	next[src] = -1
 }
 
 // NextLink returns the first-hop link from src toward dst, or -1.

@@ -2,7 +2,6 @@ package netgraph
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -88,11 +87,7 @@ func TestDijkstraScratchAllocFree(t *testing.T) {
 	src := 0
 	allocs := testing.AllocsPerRun(20, func() {
 		base := src * n
-		for i := base; i < base+n; i++ {
-			rt.nextLink[i] = -1
-			rt.dist[i] = math.Inf(1)
-		}
-		nw.dijkstra(src, rt, s)
+		nw.dijkstraRow(src, rt.nextLink[base:base+n], rt.dist[base:base+n], s)
 		src = (src + 1) % n
 	})
 	if allocs != 0 {

@@ -1,0 +1,335 @@
+package netgraph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Routing is the route-oracle contract the emulator, the mapping approaches,
+// and the route discovery consume. Implementations answer next-hop and
+// distance queries and account for their own memory, so callers can choose a
+// backend by footprint instead of hard-coding the O(n²) flat table:
+//
+//   - RoutingTable: flat all-pairs next hops, O(n²) memory, O(1) queries.
+//   - LazyRouting: per-source Dijkstra rows computed on demand behind a
+//     bounded LRU — O(cachedRows·n) memory.
+//   - HierarchicalTable: two-level per-AS (or auto-clustered) compressed
+//     tables — O(Σ cluster² + clusters²) memory with bounded path inflation.
+//
+// All implementations are safe for concurrent queries after construction.
+type Routing interface {
+	// NextLink returns the first-hop link from src toward dst, or -1 when
+	// src == dst or dst is unreachable.
+	NextLink(src, dst int) int
+	// Distance returns the total latency of the routed path (+Inf if
+	// unreachable, 0 for src == dst).
+	Distance(src, dst int) float64
+	// MemoryBytes reports the oracle's current table footprint in bytes
+	// (backing arrays only, not Go object headers). For LazyRouting it
+	// changes as rows are cached and evicted.
+	MemoryBytes() int64
+	// Stats returns a point-in-time accounting snapshot.
+	Stats() RoutingStats
+}
+
+var (
+	_ Routing = (*RoutingTable)(nil)
+	_ Routing = (*HierarchicalTable)(nil)
+	_ Routing = (*LazyRouting)(nil)
+)
+
+// ErrRoutingConfig reports an infeasible routing configuration — a negative
+// LRU size, a cluster count below 2, an unknown backend name. Callers test
+// with errors.Is.
+var ErrRoutingConfig = errors.New("netgraph: bad routing config")
+
+// Backend selects a Routing implementation.
+type Backend int
+
+const (
+	// Auto picks by topology size: Flat up to AutoFlatMaxNodes nodes, Lazy
+	// beyond — small runs keep exact O(1) lookups, large ones stay
+	// sub-quadratic without configuration.
+	Auto Backend = iota
+	// Flat is the dense all-pairs RoutingTable.
+	Flat
+	// Lazy is the on-demand per-source-row oracle (LazyRouting).
+	Lazy
+	// Hier is the two-level compressed table: per-AS when the topology has
+	// at least two ASes, auto-clustered via graph coarsening otherwise.
+	Hier
+)
+
+func (b Backend) String() string {
+	switch b {
+	case Auto:
+		return "auto"
+	case Flat:
+		return "flat"
+	case Lazy:
+		return "lazy"
+	case Hier:
+		return "hier"
+	default:
+		return fmt.Sprintf("Backend(%d)", int(b))
+	}
+}
+
+// ParseBackend parses a backend name ("auto", "flat", "lazy", "hier") — the
+// cmd/massf -routing flag values. Unknown names wrap ErrRoutingConfig.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "auto":
+		return Auto, nil
+	case "flat":
+		return Flat, nil
+	case "lazy":
+		return Lazy, nil
+	case "hier":
+		return Hier, nil
+	default:
+		return Auto, fmt.Errorf("%w: unknown routing backend %q (want auto|flat|lazy|hier)", ErrRoutingConfig, s)
+	}
+}
+
+// AutoFlatMaxNodes is the largest topology the Auto backend still serves
+// with the flat table. Beyond it the flat table's 12·n² bytes pass ~50 MB
+// and Auto switches to the lazy oracle. All of the paper's topologies
+// (Table 1 and Table 2, ≤ 564 nodes) stay flat.
+const AutoFlatMaxNodes = 2048
+
+// DefaultLazyBytes is the lazy oracle's default row-cache budget; the
+// automatic row capacity is DefaultLazyBytes / (12·n), clamped to
+// [MinLazyRows, MaxLazyRows].
+const DefaultLazyBytes = 256 << 20
+
+// MinLazyRows and MaxLazyRows bound the automatic lazy row capacity.
+const (
+	MinLazyRows = 64
+	MaxLazyRows = 4096
+)
+
+// RoutingOptions selects and parameterizes a routing backend. The zero value
+// is the automatic policy. Options are comparable — Network.SharedRouting
+// keys its cache on the normalized value.
+type RoutingOptions struct {
+	// Backend selects the implementation; Auto (the zero value) picks by
+	// topology size.
+	Backend Backend
+	// LazyRows caps the lazy oracle's LRU row cache. 0 means automatic
+	// (byte-budgeted, see DefaultLazyBytes); negative is rejected with
+	// ErrRoutingConfig. Ignored by other backends.
+	LazyRows int
+	// Clusters is the two-level table's cluster count when the topology has
+	// no usable AS labels (or to force clustered routing over per-AS). 0
+	// means automatic: per-AS tables when ≥ 2 ASes exist, else
+	// DefaultClusters(n). 1 or negative is rejected with ErrRoutingConfig.
+	// Ignored by other backends.
+	Clusters int
+}
+
+// Validate checks the options without resolving automatic values.
+func (o RoutingOptions) Validate() error {
+	if o.Backend < Auto || o.Backend > Hier {
+		return fmt.Errorf("%w: unknown backend %d", ErrRoutingConfig, int(o.Backend))
+	}
+	if o.LazyRows < 0 {
+		return fmt.Errorf("%w: LazyRows = %d, must be >= 0 (0 = automatic)", ErrRoutingConfig, o.LazyRows)
+	}
+	if o.Clusters < 0 || o.Clusters == 1 {
+		return fmt.Errorf("%w: Clusters = %d, must be >= 2 (0 = automatic)", ErrRoutingConfig, o.Clusters)
+	}
+	return nil
+}
+
+// normalized resolves the automatic backend for an n-node topology and zeroes
+// fields the chosen backend ignores, so equivalent specs share one cache
+// entry (Auto on a small network and explicit Flat are the same key).
+func (o RoutingOptions) normalized(n int) RoutingOptions {
+	if o.Backend == Auto {
+		if n <= AutoFlatMaxNodes {
+			o.Backend = Flat
+		} else {
+			o.Backend = Lazy
+		}
+	}
+	switch o.Backend {
+	case Flat:
+		o.LazyRows, o.Clusters = 0, 0
+	case Lazy:
+		o.Clusters = 0
+		if o.LazyRows == 0 {
+			o.LazyRows = DefaultLazyRows(n)
+		}
+	case Hier:
+		o.LazyRows = 0
+	}
+	return o
+}
+
+// DefaultLazyRows returns the automatic lazy row capacity for an n-node
+// topology: the DefaultLazyBytes budget divided by one row's 12·n bytes,
+// clamped to [MinLazyRows, MaxLazyRows] and never above n.
+func DefaultLazyRows(n int) int {
+	if n <= 0 {
+		return MinLazyRows
+	}
+	rows := DefaultLazyBytes / (12 * n)
+	if rows < MinLazyRows {
+		rows = MinLazyRows
+	}
+	if rows > MaxLazyRows {
+		rows = MaxLazyRows
+	}
+	if rows > n {
+		rows = n
+	}
+	if rows < 1 {
+		rows = 1
+	}
+	return rows
+}
+
+// DefaultClusters returns the automatic cluster count for an n-node topology
+// without AS labels: C ≈ (n²/2)^(1/3), which minimizes the two-level memory
+// model 12·(n²/C + C²) — O(n^(4/3)) total bytes.
+func DefaultClusters(n int) int {
+	c := int(math.Cbrt(float64(n) * float64(n) / 2))
+	if c < 2 {
+		c = 2
+	}
+	if c > n {
+		c = n
+	}
+	return c
+}
+
+// RoutingStats is a point-in-time accounting snapshot of a route oracle.
+type RoutingStats struct {
+	// Backend names the implementation: "flat", "lazy", "hier-as",
+	// "hier-cluster".
+	Backend string
+	// MemoryBytes mirrors Routing.MemoryBytes at snapshot time.
+	MemoryBytes int64
+	// Sources is the number of materialized per-source rows (flat: n; lazy:
+	// currently cached rows; hierarchical: n — every node can answer).
+	Sources int
+	// Capacity is the lazy oracle's row-cache bound (flat/hierarchical
+	// report their full source count).
+	Capacity int
+	// Hits, Misses, Evictions count lazy row-cache events; zero for the
+	// precomputed backends.
+	Hits, Misses, Evictions int64
+}
+
+// BuildRouting constructs a fresh route oracle for the given options,
+// resolving the automatic policy against the network's size and labels. Most
+// callers want the memoizing SharedRouting instead.
+func (nw *Network) BuildRouting(o RoutingOptions) (Routing, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return nw.buildRouting(o.normalized(len(nw.Nodes)))
+}
+
+// buildRouting dispatches on already-normalized options.
+func (nw *Network) buildRouting(o RoutingOptions) (Routing, error) {
+	switch o.Backend {
+	case Flat:
+		return nw.BuildRoutingTable(), nil
+	case Lazy:
+		return NewLazyRouting(nw, o.LazyRows)
+	case Hier:
+		if o.Clusters == 0 && nw.multiAS() {
+			return nw.BuildHierarchicalRouting(), nil
+		}
+		k := o.Clusters
+		if k == 0 {
+			k = DefaultClusters(len(nw.Nodes))
+		}
+		return nw.BuildClusteredRouting(k)
+	default:
+		return nil, fmt.Errorf("%w: unknown backend %d", ErrRoutingConfig, int(o.Backend))
+	}
+}
+
+// multiAS reports whether the topology carries at least two distinct AS
+// labels — the signal that per-AS hierarchical routing is meaningful.
+func (nw *Network) multiAS() bool {
+	if len(nw.Nodes) == 0 {
+		return false
+	}
+	first := nw.Nodes[0].AS
+	for _, n := range nw.Nodes[1:] {
+		if n.AS != first {
+			return true
+		}
+	}
+	return false
+}
+
+// sharedEntry is one memoized oracle with the topology generation it was
+// built against.
+type sharedEntry struct {
+	gen int64
+	r   Routing
+}
+
+// SharedRouting returns the network's memoized oracle for the given options,
+// building it on first use and after any topology mutation (AddLink /
+// AddRouter / AddHost bump the generation, which drops every cached backend —
+// flat, lazy, and hierarchical alike). Equivalent option values (e.g. Auto on
+// a small network and explicit Flat) share one entry. Safe for concurrent
+// use; do not mutate the topology while runs are in flight.
+func (nw *Network) SharedRouting(o RoutingOptions) (Routing, error) {
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	key := o.normalized(len(nw.Nodes))
+	nw.mu.Lock()
+	defer nw.mu.Unlock()
+	gen := nw.gen.Load()
+	if e, ok := nw.shared[key]; ok && e.gen == gen {
+		return e.r, nil
+	}
+	r, err := nw.buildRouting(key)
+	if err != nil {
+		return nil, err
+	}
+	if nw.shared == nil {
+		nw.shared = make(map[RoutingOptions]sharedEntry)
+	}
+	nw.shared[key] = sharedEntry{gen: gen, r: r}
+	return r, nil
+}
+
+// AutoRouting returns the shared oracle under the automatic policy — the
+// fallback every nil-Routes code path (emu.Run, the ICMP discovery, the
+// mapping approaches) uses, so even a bare pipeline on a 10⁵-node topology
+// never materializes the O(n²) flat table.
+func (nw *Network) AutoRouting() Routing {
+	r, err := nw.SharedRouting(RoutingOptions{})
+	if err != nil {
+		// The zero options always validate and Auto resolves to Flat or
+		// Lazy, neither of which can fail to build.
+		panic(fmt.Sprintf("netgraph: AutoRouting: %v", err))
+	}
+	return r
+}
+
+// MemoryBytes implements Routing: the flat table's dense footprint,
+// 12 bytes (one int32 next hop + one float64 distance) per ordered pair.
+func (rt *RoutingTable) MemoryBytes() int64 {
+	return int64(len(rt.nextLink))*4 + int64(len(rt.dist))*8
+}
+
+// Stats implements Routing.
+func (rt *RoutingTable) Stats() RoutingStats {
+	return RoutingStats{
+		Backend:     "flat",
+		MemoryBytes: rt.MemoryBytes(),
+		Sources:     rt.n,
+		Capacity:    rt.n,
+	}
+}

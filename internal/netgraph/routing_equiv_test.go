@@ -1,0 +1,75 @@
+package netgraph_test
+
+// Cross-backend equivalence on the paper's experiment topologies: the lazy
+// oracle must answer byte-identically to the flat table for every ordered
+// pair (same dijkstraRow builder, same tie-breaks), and the clustered
+// two-level tables must stay loop-free and never beat the true shortest path.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/netgraph"
+)
+
+func TestLazyMatchesFlatOnPaperTopologies(t *testing.T) {
+	for _, name := range []string{"Campus", "TeraGrid", "Brite", "Brite-large"} {
+		t.Run(name, func(t *testing.T) {
+			nw := paperTopology(t, name)
+			n := nw.NumNodes()
+			flat := nw.BuildRoutingTable()
+			lazy, err := netgraph.NewLazyRouting(nw, 32)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					if f, l := flat.NextLink(src, dst), lazy.NextLink(src, dst); f != l {
+						t.Fatalf("NextLink(%d,%d): flat %d, lazy %d", src, dst, f, l)
+					}
+					fd, ld := flat.Distance(src, dst), lazy.Distance(src, dst)
+					if fd != ld && !(math.IsInf(fd, 1) && math.IsInf(ld, 1)) {
+						t.Fatalf("Distance(%d,%d): flat %g, lazy %g", src, dst, fd, ld)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestClusteredRoutingOnPaperTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("all-pairs walks on the full topologies")
+	}
+	// Brite is single-AS, the case the auto-clustered tables exist for;
+	// Campus exercises the nearly-tree shape.
+	for _, name := range []string{"Campus", "Brite"} {
+		t.Run(name, func(t *testing.T) {
+			nw := paperTopology(t, name)
+			n := nw.NumNodes()
+			flat := nw.BuildRoutingTable()
+			hier, err := nw.BuildClusteredRouting(netgraph.DefaultClusters(n))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if hier.MemoryBytes() >= flat.MemoryBytes() {
+				t.Fatalf("clustered table (%d B) not smaller than flat (%d B)",
+					hier.MemoryBytes(), flat.MemoryBytes())
+			}
+			for src := 0; src < n; src++ {
+				for dst := 0; dst < n; dst++ {
+					if src == dst {
+						continue
+					}
+					path := nw.Route(hier, src, dst)
+					if path == nil || len(path) > n {
+						t.Fatalf("clustered route %d->%d broken or looping: %d hops", src, dst, len(path))
+					}
+					if hier.Distance(src, dst) < flat.Distance(src, dst)-1e-12 {
+						t.Fatalf("clustered distance beats shortest path for %d->%d", src, dst)
+					}
+				}
+			}
+		})
+	}
+}

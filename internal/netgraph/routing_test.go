@@ -1,0 +1,374 @@
+package netgraph
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// tieHeavyNetwork builds a connected network where most links share the same
+// latency, so Dijkstra faces many equal-cost paths — the setting where a
+// divergent tie-break between backends would show up immediately.
+func tieHeavyNetwork(n int, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	nw := New("ties")
+	for i := 0; i < n; i++ {
+		nw.AddRouter("r", 1)
+		if i > 0 {
+			nw.AddLink(i, rng.Intn(i), 1e9, 1e-3)
+		}
+	}
+	for e := 0; e < 2*n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			nw.AddLink(a, b, 1e9, 1e-3)
+		}
+	}
+	return nw
+}
+
+// TestLazyMatchesFlatAllPairs is the equivalence matrix on tie-heavy random
+// networks: every (src, dst) next hop and distance must be byte-identical
+// between the flat table and the lazy oracle, including after evictions force
+// rows to be recomputed.
+func TestLazyMatchesFlatAllPairs(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		n := 60
+		nw := tieHeavyNetwork(n, seed)
+		flat := nw.BuildRoutingTable()
+		lazy, err := NewLazyRouting(nw, 8) // far below n: evictions guaranteed
+		if err != nil {
+			t.Fatal(err)
+		}
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if f, l := flat.NextLink(src, dst), lazy.NextLink(src, dst); f != l {
+					t.Fatalf("seed %d: NextLink(%d,%d) flat %d, lazy %d", seed, src, dst, f, l)
+				}
+				fd, ld := flat.Distance(src, dst), lazy.Distance(src, dst)
+				if fd != ld && !(math.IsInf(fd, 1) && math.IsInf(ld, 1)) {
+					t.Fatalf("seed %d: Distance(%d,%d) flat %g, lazy %g", seed, src, dst, fd, ld)
+				}
+			}
+		}
+		// Re-query ascending after the LRU has churned: recomputed rows must
+		// still match.
+		for src := 0; src < n; src++ {
+			if f, l := flat.NextLink(src, 0), lazy.NextLink(src, 0); f != l {
+				t.Fatalf("seed %d: recomputed NextLink(%d,0) flat %d, lazy %d", seed, src, f, l)
+			}
+		}
+		if s := lazy.Stats(); s.Evictions == 0 || s.Sources > s.Capacity {
+			t.Fatalf("seed %d: expected eviction churn within capacity, got %+v", seed, s)
+		}
+	}
+}
+
+func TestLazyLRUStats(t *testing.T) {
+	nw := tieHeavyNetwork(20, 3)
+	lazy, err := NewLazyRouting(nw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 5 distinct sources through a 4-row cache: 5 misses, 1 eviction.
+	for src := 0; src < 5; src++ {
+		lazy.NextLink(src, 10)
+	}
+	// Sources 1..4 are resident: all hits.
+	for src := 1; src < 5; src++ {
+		lazy.NextLink(src, 11)
+	}
+	s := lazy.Stats()
+	if s.Misses != 5 || s.Evictions != 1 || s.Hits != 4 {
+		t.Fatalf("stats = %+v, want 5 misses / 1 eviction / 4 hits", s)
+	}
+	if s.Sources != 4 || s.Capacity != 4 {
+		t.Fatalf("stats = %+v, want 4 of 4 rows resident", s)
+	}
+	if s.Backend != "lazy" {
+		t.Fatalf("backend = %q", s.Backend)
+	}
+	// Source 0 was evicted (least recently used): touching it recomputes.
+	lazy.NextLink(0, 3)
+	if s := lazy.Stats(); s.Misses != 6 || s.Evictions != 2 {
+		t.Fatalf("after LRU re-touch: %+v, want 6 misses / 2 evictions", s)
+	}
+}
+
+// TestLazyHitPathAllocFree gates the prepare-time hot path: once a source row
+// is cached, queries against it must not allocate.
+func TestLazyHitPathAllocFree(t *testing.T) {
+	nw := tieHeavyNetwork(40, 5)
+	lazy, err := NewLazyRouting(nw, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lazy.NextLink(3, 17) // warm the row
+	allocs := testing.AllocsPerRun(200, func() {
+		lazy.NextLink(3, 21)
+		lazy.Distance(3, 9)
+	})
+	if allocs != 0 {
+		t.Fatalf("lazy hit path allocates %.1f objects per query, want 0", allocs)
+	}
+}
+
+// TestLazyConcurrentQueries drives the oracle from many goroutines (run under
+// -race in CI); every answer is checked against the flat table.
+func TestLazyConcurrentQueries(t *testing.T) {
+	n := 40
+	nw := tieHeavyNetwork(n, 9)
+	flat := nw.BuildRoutingTable()
+	lazy, err := NewLazyRouting(nw, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 300; i++ {
+				src, dst := rng.Intn(n), rng.Intn(n)
+				if f, l := flat.NextLink(src, dst), lazy.NextLink(src, dst); f != l {
+					select {
+					case errc <- errors.New("concurrent lazy answer diverged from flat"):
+					default:
+					}
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+}
+
+// TestLazySelfPurgesOnMutation is the invalidation regression: a lazy oracle
+// held across an AddLink must serve routes of the new topology, not its
+// cached rows.
+func TestLazySelfPurgesOnMutation(t *testing.T) {
+	nw := New("purge")
+	for i := 0; i < 4; i++ {
+		nw.AddRouter("r", 1)
+	}
+	// Line 0-1-2-3.
+	nw.AddLink(0, 1, 1e9, 1e-3)
+	nw.AddLink(1, 2, 1e9, 1e-3)
+	nw.AddLink(2, 3, 1e9, 1e-3)
+	lazy, err := NewLazyRouting(nw, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := lazy.Distance(0, 3); d != 3e-3 {
+		t.Fatalf("line distance %g, want 3ms", d)
+	}
+	// A direct shortcut invalidates the cached row.
+	short := nw.AddLink(0, 3, 1e9, 1e-4)
+	if d := lazy.Distance(0, 3); d != 1e-4 {
+		t.Fatalf("post-mutation distance %g, want 0.1ms (stale row served)", d)
+	}
+	if got := lazy.NextLink(0, 3); got != short {
+		t.Fatalf("post-mutation next link %d, want shortcut %d", got, short)
+	}
+}
+
+// TestSharedRoutingDropsAllBackendsOnMutation checks the generation cache
+// across every backend: AddLink must invalidate flat, lazy, and hierarchical
+// entries alike.
+func TestSharedRoutingDropsAllBackendsOnMutation(t *testing.T) {
+	nw := tieHeavyNetwork(30, 11)
+	opts := []RoutingOptions{
+		{Backend: Flat},
+		{Backend: Lazy, LazyRows: 4},
+		{Backend: Hier, Clusters: 3},
+	}
+	before := make([]Routing, len(opts))
+	for i, o := range opts {
+		r, err := nw.SharedRouting(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = r
+		// Memoized: the same options return the identical oracle.
+		again, err := nw.SharedRouting(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != r {
+			t.Fatalf("%s: SharedRouting did not memoize", o.Backend)
+		}
+	}
+	nw.AddLink(0, 29, 1e9, 1e-6)
+	for i, o := range opts {
+		r, err := nw.SharedRouting(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r == before[i] {
+			t.Fatalf("%s: SharedRouting served a stale oracle after AddLink", o.Backend)
+		}
+	}
+}
+
+// TestClusteredRoutingProperties checks the auto-clustered two-level tables on
+// single-AS random networks: every pair routes loop-free to its destination,
+// never beats the true shortest path, and stays within a bounded inflation of
+// it.
+func TestClusteredRoutingProperties(t *testing.T) {
+	for _, seed := range []int64{2, 13} {
+		n := 80
+		nw := tieHeavyNetwork(n, seed)
+		flat := nw.BuildRoutingTable()
+		hier, err := nw.BuildClusteredRouting(DefaultClusters(n))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sumFlat, sumHier float64
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if src == dst {
+					continue
+				}
+				path := nw.Route(hier, src, dst)
+				if path == nil || path[0] != src || path[len(path)-1] != dst {
+					t.Fatalf("seed %d: clustered route %d->%d broken: %v", seed, src, dst, path)
+				}
+				if len(path) > n {
+					t.Fatalf("seed %d: clustered route %d->%d has a loop (%d hops)", seed, src, dst, len(path))
+				}
+				fd, hd := flat.Distance(src, dst), hier.Distance(src, dst)
+				if hd < fd-1e-12 {
+					t.Fatalf("seed %d: clustered distance %g beats shortest path %g for %d->%d", seed, hd, fd, src, dst)
+				}
+				sumFlat += fd
+				sumHier += hd
+			}
+		}
+		if sumHier > 2.5*sumFlat {
+			t.Fatalf("seed %d: clustered path inflation %.2fx exceeds the 2.5x bound", seed, sumHier/sumFlat)
+		}
+	}
+}
+
+func TestClusteredRoutingDeterministic(t *testing.T) {
+	nw := tieHeavyNetwork(50, 21)
+	a, err := nw.BuildClusteredRouting(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := nw.BuildClusteredRouting(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for src := 0; src < 50; src++ {
+		for dst := 0; dst < 50; dst++ {
+			if a.NextLink(src, dst) != b.NextLink(src, dst) {
+				t.Fatalf("clustered build not deterministic at (%d,%d)", src, dst)
+			}
+		}
+	}
+	if a.Clusters() < 2 || a.Clusters() > 5 {
+		t.Fatalf("got %d clusters, want 2..5", a.Clusters())
+	}
+	if s := a.Stats(); s.Backend != "hier-cluster" {
+		t.Fatalf("backend = %q, want hier-cluster", s.Backend)
+	}
+}
+
+func TestParseBackend(t *testing.T) {
+	for name, want := range map[string]Backend{"auto": Auto, "flat": Flat, "lazy": Lazy, "hier": Hier} {
+		got, err := ParseBackend(name)
+		if err != nil || got != want {
+			t.Fatalf("ParseBackend(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := ParseBackend("quantum"); !errors.Is(err, ErrRoutingConfig) {
+		t.Fatalf("unknown backend error = %v, want ErrRoutingConfig", err)
+	}
+}
+
+func TestRoutingOptionsValidate(t *testing.T) {
+	bad := []RoutingOptions{
+		{LazyRows: -1},
+		{Clusters: -2},
+		{Clusters: 1},
+		{Backend: Backend(99)},
+	}
+	for _, o := range bad {
+		if err := o.Validate(); !errors.Is(err, ErrRoutingConfig) {
+			t.Fatalf("Validate(%+v) = %v, want ErrRoutingConfig", o, err)
+		}
+	}
+	nw := tieHeavyNetwork(10, 1)
+	for _, o := range bad {
+		if _, err := nw.BuildRouting(o); !errors.Is(err, ErrRoutingConfig) {
+			t.Fatalf("BuildRouting(%+v) = %v, want ErrRoutingConfig", o, err)
+		}
+		if _, err := nw.SharedRouting(o); !errors.Is(err, ErrRoutingConfig) {
+			t.Fatalf("SharedRouting(%+v) = %v, want ErrRoutingConfig", o, err)
+		}
+	}
+	if _, err := NewLazyRouting(nw, -1); !errors.Is(err, ErrRoutingConfig) {
+		t.Fatalf("NewLazyRouting(-1) = %v, want ErrRoutingConfig", err)
+	}
+	if _, err := nw.BuildClusteredRouting(1); !errors.Is(err, ErrRoutingConfig) {
+		t.Fatalf("BuildClusteredRouting(1) = %v, want ErrRoutingConfig", err)
+	}
+}
+
+// TestAutoPolicy checks the size cutover and that equivalent options share one
+// shared-cache entry.
+func TestAutoPolicy(t *testing.T) {
+	small := tieHeavyNetwork(30, 17)
+	r, err := small.SharedRouting(RoutingOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := r.Stats(); s.Backend != "flat" {
+		t.Fatalf("auto on %d nodes picked %q, want flat", 30, s.Backend)
+	}
+	// Auto and explicit Flat normalize to the same cache key.
+	rf, err := small.SharedRouting(RoutingOptions{Backend: Flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf != r {
+		t.Fatal("Auto and Flat built separate oracles on a small network")
+	}
+
+	if o := (RoutingOptions{}).normalized(AutoFlatMaxNodes + 1); o.Backend != Lazy {
+		t.Fatalf("auto above the flat ceiling picked %v, want Lazy", o.Backend)
+	}
+	if o := (RoutingOptions{}).normalized(AutoFlatMaxNodes); o.Backend != Flat {
+		t.Fatalf("auto at the flat ceiling picked %v, want Flat", o.Backend)
+	}
+}
+
+func TestDefaultSizing(t *testing.T) {
+	if r := DefaultLazyRows(100_000); r < MinLazyRows || r > MaxLazyRows {
+		t.Fatalf("DefaultLazyRows(1e5) = %d, outside [%d,%d]", r, MinLazyRows, MaxLazyRows)
+	}
+	if r := DefaultLazyRows(100); r != 100 {
+		t.Fatalf("DefaultLazyRows(100) = %d, want clamped to n", r)
+	}
+	if c := DefaultClusters(100_000); c < 2 {
+		t.Fatalf("DefaultClusters(1e5) = %d", c)
+	}
+	// The auto cluster count keeps two-level memory sub-quadratic: for 1e5
+	// nodes the model 12·(n²/C + C²) must be far below the 12·n² flat cost.
+	n := float64(100_000)
+	c := float64(DefaultClusters(100_000))
+	model := 12 * (n*n/c + c*c)
+	if flat := 12 * n * n; model > flat/50 {
+		t.Fatalf("two-level memory model %.3g is not ≪ flat %.3g", model, flat)
+	}
+}

@@ -1,0 +1,120 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// clusterTestGraph builds a connected random graph with unit vertex weights.
+func clusterTestGraph(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := NewGraph(n, 1)
+	for v := 1; v < n; v++ {
+		g.AddEdge(v, rng.Intn(v), 1+int64(rng.Intn(5)))
+	}
+	for e := 0; e < 2*n; e++ {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			g.AddEdge(a, b, 1+int64(rng.Intn(5)))
+		}
+	}
+	return g
+}
+
+func TestClusterLabelShape(t *testing.T) {
+	for _, k := range []int{2, 5, 16} {
+		g := clusterTestGraph(200, 7)
+		labels := Cluster(g, k, 1)
+		if len(labels) != 200 {
+			t.Fatalf("k=%d: %d labels for 200 vertices", k, len(labels))
+		}
+		max := 0
+		seen := map[int]bool{}
+		for v, l := range labels {
+			if l < 0 {
+				t.Fatalf("k=%d: vertex %d has negative label %d", k, v, l)
+			}
+			if l > max {
+				max = l
+			}
+			seen[l] = true
+		}
+		if len(seen) > k {
+			t.Fatalf("k=%d: %d clusters produced", k, len(seen))
+		}
+		if len(seen) < 2 {
+			t.Fatalf("k=%d: everything collapsed into %d cluster(s)", k, len(seen))
+		}
+		// Dense labels: [0, clusters).
+		if max != len(seen)-1 {
+			t.Fatalf("k=%d: labels not dense (max %d over %d clusters)", k, max, len(seen))
+		}
+	}
+}
+
+// TestClusterInternallyConnected: coarsening only merges across edges, so on
+// a connected graph every cluster's induced subgraph is connected.
+func TestClusterInternallyConnected(t *testing.T) {
+	g := clusterTestGraph(300, 3)
+	labels := Cluster(g, 12, 1)
+	n := g.NumVertices()
+	// BFS within each cluster.
+	clusterOf := map[int][]int{}
+	for v, l := range labels {
+		clusterOf[l] = append(clusterOf[l], v)
+	}
+	for l, members := range clusterOf {
+		seen := map[int]bool{members[0]: true}
+		queue := []int{members[0]}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, e := range g.Adj[v] {
+				if labels[e.To] == l && !seen[e.To] {
+					seen[e.To] = true
+					queue = append(queue, e.To)
+				}
+			}
+		}
+		if len(seen) != len(members) {
+			t.Fatalf("cluster %d: %d of %d members reachable internally (n=%d)", l, len(seen), len(members), n)
+		}
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	a := Cluster(clusterTestGraph(150, 9), 8, 1)
+	b := Cluster(clusterTestGraph(150, 9), 8, 1)
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("labels differ at vertex %d: %d vs %d", v, a[v], b[v])
+		}
+	}
+}
+
+func TestClusterSmallGraphIdentity(t *testing.T) {
+	g := clusterTestGraph(5, 1)
+	labels := Cluster(g, 8, 1)
+	for v, l := range labels {
+		if l != v {
+			t.Fatalf("n <= k must return identity labels, got labels[%d] = %d", v, l)
+		}
+	}
+}
+
+// TestClusterRoughBalance: the coarsening weight cap keeps cluster sizes from
+// collapsing into one giant cluster plus dust.
+func TestClusterRoughBalance(t *testing.T) {
+	g := clusterTestGraph(400, 5)
+	k := 10
+	labels := Cluster(g, k, 1)
+	sizes := map[int]int{}
+	for _, l := range labels {
+		sizes[l]++
+	}
+	for l, s := range sizes {
+		if s > 400*8/k {
+			t.Fatalf("cluster %d holds %d of 400 vertices — cap failed", l, s)
+		}
+	}
+}

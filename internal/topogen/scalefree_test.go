@@ -1,0 +1,85 @@
+package topogen
+
+import (
+	"testing"
+)
+
+func TestScaleFreeShape(t *testing.T) {
+	nw, err := ScaleFree(ScaleFreeConfig{Routers: 500, Hosts: 100, LinksPerNewRouter: 2, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumRouters() != 500 || nw.NumHosts() != 100 {
+		t.Fatalf("got %d routers, %d hosts", nw.NumRouters(), nw.NumHosts())
+	}
+	// m+1 seed clique + m links per later router + one per host.
+	wantLinks := 3 + 2*(500-3) + 100
+	if len(nw.Links) != wantLinks {
+		t.Fatalf("got %d links, want %d", len(nw.Links), wantLinks)
+	}
+	for _, l := range nw.Links {
+		if l.Bandwidth <= 0 || l.Latency <= 0 {
+			t.Fatalf("link (%d,%d) has non-positive bandwidth %g or latency %g",
+				l.A, l.B, l.Bandwidth, l.Latency)
+		}
+	}
+}
+
+// TestScaleFreeConnected checks every node reaches node 0 — preferential
+// attachment always links new routers into the existing component and hosts
+// hang off routers, so the graph must be one component.
+func TestScaleFreeConnected(t *testing.T) {
+	nw, err := ScaleFree(ScaleFreeConfig{Routers: 300, Hosts: 50, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := nw.NumNodes()
+	adj := make([][]int, n)
+	for _, l := range nw.Links {
+		adj[l.A] = append(adj[l.A], l.B)
+		adj[l.B] = append(adj[l.B], l.A)
+	}
+	seen := make([]bool, n)
+	queue := []int{0}
+	seen[0] = true
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, u := range adj[v] {
+			if !seen[u] {
+				seen[u] = true
+				count++
+				queue = append(queue, u)
+			}
+		}
+	}
+	if count != n {
+		t.Fatalf("reached %d of %d nodes", count, n)
+	}
+}
+
+func TestScaleFreeDeterministic(t *testing.T) {
+	a, err := ScaleFree(ScaleFreeConfig{Routers: 200, Hosts: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ScaleFree(ScaleFreeConfig{Routers: 200, Hosts: 20, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Links) != len(b.Links) {
+		t.Fatalf("link counts differ: %d vs %d", len(a.Links), len(b.Links))
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs: %+v vs %+v", i, a.Links[i], b.Links[i])
+		}
+	}
+}
+
+func TestScaleFreeRejectsTinyConfig(t *testing.T) {
+	if _, err := ScaleFree(ScaleFreeConfig{Routers: 1}); err == nil {
+		t.Fatal("1-router config must error")
+	}
+}

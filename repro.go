@@ -98,6 +98,56 @@ func TopologyByName(name string, seed int64) (*Network, error) {
 	return topogen.ByName(name, seed)
 }
 
+// ScaleFree builds a Barabási–Albert router topology in linear time — the
+// scaling companion to Brite for 10⁴–10⁵-router studies.
+var ScaleFree = topogen.ScaleFree
+
+// ScaleFreeConfig parameterizes the ScaleFree generator.
+type ScaleFreeConfig = topogen.ScaleFreeConfig
+
+// Routing. The emulator, the mapping approaches and the route discovery all
+// consume the Routing oracle interface; Scenario.Routing (or the WithRouting
+// functional option at the emulator level) selects the backend. The zero
+// RoutingOptions value is the automatic policy: exact flat tables up to
+// RoutingAutoFlatMaxNodes nodes, the sub-quadratic lazy oracle beyond.
+type (
+	// Routing is the route-oracle interface (next hop, distance, memory
+	// accounting). See netgraph.Routing.
+	Routing = netgraph.Routing
+	// RoutingOptions selects and parameterizes a routing backend.
+	RoutingOptions = netgraph.RoutingOptions
+	// RoutingStats is a point-in-time oracle accounting snapshot.
+	RoutingStats = netgraph.RoutingStats
+	// RoutingBackend enumerates the oracle implementations.
+	RoutingBackend = netgraph.Backend
+)
+
+// Routing backends. (The mapping baseline named Hier below is unrelated —
+// these constants select route oracles, not partitioning strategies.)
+const (
+	// RoutingAuto picks by topology size: flat up to RoutingAutoFlatMaxNodes
+	// nodes, lazy beyond.
+	RoutingAuto = netgraph.Auto
+	// RoutingFlat is the dense all-pairs table: O(n²) memory, O(1) queries.
+	RoutingFlat = netgraph.Flat
+	// RoutingLazy computes per-source rows on demand behind a bounded LRU.
+	RoutingLazy = netgraph.Lazy
+	// RoutingHier is the two-level compressed table (per-AS or
+	// auto-clustered).
+	RoutingHier = netgraph.Hier
+
+	// RoutingAutoFlatMaxNodes is the automatic policy's flat-table ceiling.
+	RoutingAutoFlatMaxNodes = netgraph.AutoFlatMaxNodes
+)
+
+// ErrRoutingConfig reports an infeasible routing configuration (negative LRU
+// size, cluster count below 2, unknown backend name); test with errors.Is.
+var ErrRoutingConfig = netgraph.ErrRoutingConfig
+
+// ParseRoutingBackend parses "auto" | "flat" | "lazy" | "hier" — the
+// cmd/massf -routing flag values.
+func ParseRoutingBackend(s string) (RoutingBackend, error) { return netgraph.ParseBackend(s) }
+
 // Traffic.
 type (
 	// HTTPSpec is the paper's §4.1.4 background traffic description.
@@ -164,6 +214,9 @@ var (
 	WithContext = emu.WithContext
 	// WithCostModel overrides the engine cost model for one run.
 	WithCostModel = emu.WithCostModel
+	// WithRouting supplies a pre-built route oracle for one run, taking
+	// precedence over EmuConfig.Routes.
+	WithRouting = emu.WithRouting
 )
 
 // RunEmulation executes one emulation directly (most callers use Scenario).
