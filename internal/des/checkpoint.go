@@ -58,7 +58,7 @@ func (k *Kernel) Checkpoint(at float64) *Checkpoint {
 	n := k.cfg.NumLPs
 	cp := &Checkpoint{Time: at, events: make([][]Event, n)}
 	for lp := 0; lp < n; lp++ {
-		evs := append([]Event(nil), k.queues[lp]...)
+		evs := k.queues[lp].export(lp)
 		sort.Slice(evs, func(i, j int) bool {
 			if evs[i].Time != evs[j].Time {
 				return evs[i].Time < evs[j].Time
@@ -117,8 +117,7 @@ func (k *Kernel) Restore(cp *Checkpoint, lookahead float64, remap func(Event) (i
 			if nlp < 0 || nlp >= n {
 				return fmt.Errorf("des: restore remapped event at t=%g to invalid LP %d", ev.Time, nlp)
 			}
-			ev.LP = nlp
-			k.pushLocal(nlp, ev)
+			k.pushLocal(nlp, ev.Time, ev.Data)
 		}
 	}
 	base := cp.Stats()

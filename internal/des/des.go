@@ -18,11 +18,20 @@
 // LPs run on real goroutines, so wall-clock benchmarks exercise true
 // parallelism, while deterministic per-window statistics feed the engine cost
 // model that reproduces the paper's emulation-time metrics.
+//
+// Hot-path layout. Pending events live in structure-of-arrays heaps (parallel
+// time/seq/payload slices), so heap sifts compare raw float64/int64 arrays
+// without chasing payload pointers. Cross-LP sends accumulate in pooled
+// per-destination batches — the in-process mirror of the dist protocol's
+// per-window framing — and are re-sequenced at the barrier with a reused
+// merge scratch, so the steady-state barrier allocates nothing. See
+// DESIGN.md §14 for the layout and the determinism argument.
 package des
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"sync"
 	"time"
@@ -54,7 +63,12 @@ type Handler func(lp int, t float64, data any, s *Scheduler)
 // WindowObserver is called once per executed window, after the barrier, on a
 // single goroutine. charges[lp] is the kernel-event load LP lp accrued during
 // [start,end); remote[lp] is the number of events it sent to other LPs.
-// The slices are reused between calls — copy them if retained.
+//
+// Both slices are recycled buffers: the kernel overwrites them in place at
+// the next barrier. An observer must fully consume (or copy) them before
+// returning and must not retain a reference — holding one past the return is
+// a data race in parallel runs, not just stale data. TestObserverBuffersAreRecycled
+// enforces this contract under the race detector.
 type WindowObserver func(start, end float64, charges, remote []int64)
 
 // Config configures a Kernel.
@@ -90,6 +104,18 @@ type Config struct {
 	// Sequential forces single-goroutine execution (useful to isolate
 	// determinism bugs; results must be identical either way).
 	Sequential bool
+	// ForceParallel makes Run use the persistent-worker path even on a
+	// single-CPU machine, where the kernel otherwise degrades to the
+	// sequential loop — a test knob so the worker machinery stays exercised
+	// (including under the race detector) regardless of the host. Ignored
+	// when Sequential is set.
+	ForceParallel bool
+	// ReferenceBarrier switches the barrier to the pre-batching merge: tag
+	// every cross-LP event individually and sort the whole window globally by
+	// (time, source LP, send order) before insertion. It is a testing oracle —
+	// slower, allocates per barrier — kept so regression tests can prove the
+	// default per-destination merge is byte-identical to the historical order.
+	ReferenceBarrier bool
 }
 
 // Stats summarizes a completed run.
@@ -119,6 +145,43 @@ func (s *Stats) TotalCharges() int64 {
 	return t
 }
 
+// batch collects one window's sends from one source LP to one destination LP
+// in structure-of-arrays form — the in-process counterpart of the dist
+// protocol's per-window event frames. Batches are sync.Pool-recycled: a
+// scheduler takes one on the first send to a destination, the barrier (or
+// Stepper.Step) consumes and releases it, and the backing arrays are reused
+// window after window, so the steady-state send path allocates nothing.
+type batch struct {
+	// Dst is the destination LP, Src the sending LP.
+	Dst, Src int
+	// Times[i] is the i-th event's firing time; SrcIdx[i] its send order
+	// within the source LP's window (the barrier merge tiebreak); Datas[i]
+	// its payload.
+	Times  []float64
+	SrcIdx []int32
+	Datas  []any
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batch) }}
+
+func getBatch(src, dst int) *batch {
+	b := batchPool.Get().(*batch)
+	b.Src, b.Dst = src, dst
+	return b
+}
+
+// putBatch clears payload references (the queues own them now) and recycles
+// the batch's backing arrays.
+func putBatch(b *batch) {
+	for i := range b.Datas {
+		b.Datas[i] = nil
+	}
+	b.Times = b.Times[:0]
+	b.SrcIdx = b.SrcIdx[:0]
+	b.Datas = b.Datas[:0]
+	batchPool.Put(b)
+}
+
 // Scheduler is the per-LP interface handlers use to schedule events and
 // account load. It is only valid inside a Handler invocation.
 type Scheduler struct {
@@ -128,8 +191,12 @@ type Scheduler struct {
 	windowEnd float64
 	charges   int64
 	remote    int64
-	outbox    []Event // events for other LPs, flushed at the barrier
-	err       error
+	// batches holds this window's outgoing per-destination batches in
+	// first-touch order; batchAt indexes them by destination LP. Both are
+	// drained at the barrier.
+	batches []*batch
+	batchAt []*batch
+	err     error
 }
 
 // Now returns the virtual time of the event being handled.
@@ -152,7 +219,7 @@ func (s *Scheduler) Schedule(lp int, t float64, data any) {
 		return
 	}
 	if lp == s.lp {
-		s.k.pushLocal(lp, Event{Time: t, LP: lp, Data: data})
+		s.k.pushLocal(lp, t, data)
 		return
 	}
 	if lp < 0 || lp >= s.k.cfg.NumLPs {
@@ -163,8 +230,16 @@ func (s *Scheduler) Schedule(lp int, t float64, data any) {
 		s.fail(fmt.Errorf("des: LP %d violated lookahead: remote event at t=%g before window end %g", s.lp, t, s.windowEnd))
 		return
 	}
+	b := s.batchAt[lp]
+	if b == nil {
+		b = getBatch(s.lp, lp)
+		s.batchAt[lp] = b
+		s.batches = append(s.batches, b)
+	}
+	b.Times = append(b.Times, t)
+	b.SrcIdx = append(b.SrcIdx, int32(s.remote))
+	b.Datas = append(b.Datas, data)
 	s.remote++
-	s.outbox = append(s.outbox, Event{Time: t, LP: lp, Data: data})
 }
 
 func (s *Scheduler) fail(err error) {
@@ -194,6 +269,13 @@ type Kernel struct {
 	// snapshot them at a barrier.
 	runStats *Stats
 	ran      bool
+
+	// Barrier merge scratch, reused across windows: batches bucketed by
+	// destination, the list of destinations with traffic, and the
+	// structure-of-arrays sort area. Zero steady-state allocations.
+	perDst  [][]*batch
+	dstList []int
+	merge   mergeScratch
 
 	// Recording scratch, allocated once per Run only when cfg.Recorder is
 	// set: per-window per-LP counters reused across windows so the nil-
@@ -233,14 +315,20 @@ func (k *Kernel) Schedule(lp int, t float64, data any) error {
 	if t < 0 {
 		return fmt.Errorf("des: initial event at negative time %g", t)
 	}
-	k.pushLocal(lp, Event{Time: t, LP: lp, Data: data})
+	k.pushLocal(lp, t, data)
 	return nil
 }
 
-func (k *Kernel) pushLocal(lp int, ev Event) {
-	ev.seq = k.seqs[lp]
+func (k *Kernel) pushLocal(lp int, t float64, data any) {
+	seq := k.seqs[lp]
 	k.seqs[lp]++
-	k.queues[lp].push(ev)
+	k.queues[lp].push(t, seq, data)
+}
+
+// newScheduler builds an LP's scheduler with its per-destination batch index
+// preallocated (one slot per possible destination).
+func (k *Kernel) newScheduler(lp int) *Scheduler {
+	return &Scheduler{k: k, lp: lp, batchAt: make([]*batch, k.cfg.NumLPs)}
 }
 
 // Run executes the simulation to completion (or EndTime) and returns
@@ -275,7 +363,7 @@ func (k *Kernel) Run() (*Stats, error) {
 
 	scheds := make([]*Scheduler, n)
 	for lp := range scheds {
-		scheds[lp] = &Scheduler{k: k, lp: lp}
+		scheds[lp] = k.newScheduler(lp)
 	}
 	winCharges := make([]int64, n)
 	winRemote := make([]int64, n)
@@ -288,6 +376,43 @@ func (k *Kernel) Run() (*Stats, error) {
 		k.winBusy = make([]float64, n)
 		k.winWait = make([]float64, n)
 		rec.RecordRun(obs.RunMeta{LPs: n, Lookahead: L, Resumed: k.base != nil})
+	}
+
+	// Parallel runs use persistent per-LP workers instead of spawning n
+	// goroutines every window: the coordinator publishes the window bounds,
+	// kicks each worker through its channel, and collects n completions. The
+	// channel send/receive pairs give the necessary happens-before edges for
+	// the shared wEnd and the workers' writes into stats.
+	//
+	// On a single-CPU machine (or with one LP) the workers would only add
+	// context switches, so the kernel degrades to the sequential window loop —
+	// safe because parallel and sequential execution are byte-identical by
+	// construction.
+	parallel := !k.cfg.Sequential && n > 1 &&
+		(runtime.GOMAXPROCS(0) > 1 || k.cfg.ForceParallel)
+	var (
+		wEnd    float64
+		starts  []chan struct{}
+		winDone chan struct{}
+	)
+	if parallel {
+		starts = make([]chan struct{}, n)
+		winDone = make(chan struct{}, n)
+		for lp := 0; lp < n; lp++ {
+			ch := make(chan struct{}, 1)
+			starts[lp] = ch
+			go func(lp int, ch chan struct{}) {
+				for range ch {
+					k.runWindow(lp, scheds[lp], wEnd, stats)
+					winDone <- struct{}{}
+				}
+			}(lp, ch)
+		}
+		defer func() {
+			for _, ch := range starts {
+				close(ch)
+			}
+		}()
 	}
 
 	T := 0.0
@@ -316,20 +441,18 @@ func (k *Kernel) Run() (*Stats, error) {
 		if k.recording {
 			winStart = time.Now()
 		}
-		if k.cfg.Sequential {
-			for lp := 0; lp < n; lp++ {
-				k.runWindow(lp, scheds[lp], T, windowEnd, stats)
+		if parallel {
+			wEnd = windowEnd
+			for _, ch := range starts {
+				ch <- struct{}{}
+			}
+			for i := 0; i < n; i++ {
+				<-winDone
 			}
 		} else {
-			var wg sync.WaitGroup
 			for lp := 0; lp < n; lp++ {
-				wg.Add(1)
-				go func(lp int) {
-					defer wg.Done()
-					k.runWindow(lp, scheds[lp], T, windowEnd, stats)
-				}(lp)
+				k.runWindow(lp, scheds[lp], windowEnd, stats)
 			}
-			wg.Wait()
 		}
 
 		// Barrier: check errors, merge outboxes deterministically, observe.
@@ -393,8 +516,8 @@ func (k *Kernel) Run() (*Stats, error) {
 
 // runWindow drains one LP's queue up to windowEnd. Only this goroutine
 // touches the LP's queue during the window; remote events go to the private
-// outbox.
-func (k *Kernel) runWindow(lp int, s *Scheduler, T, windowEnd float64, stats *Stats) {
+// per-destination batches.
+func (k *Kernel) runWindow(lp int, s *Scheduler, windowEnd float64, stats *Stats) {
 	var begin time.Time
 	preEvents := stats.Events[lp]
 	if k.recording {
@@ -402,20 +525,25 @@ func (k *Kernel) runWindow(lp int, s *Scheduler, T, windowEnd float64, stats *St
 	}
 	s.windowEnd = windowEnd
 	q := &k.queues[lp]
-	for q.Len() > 0 && (*q)[0].Time < windowEnd {
-		if k.cfg.EndTime > 0 && (*q)[0].Time >= k.cfg.EndTime {
+	// Accumulate in locals and write the shared per-LP stats slots once at
+	// the end of the window: adjacent LPs' slots share cache lines, so
+	// per-event writes would false-share under parallel execution.
+	events := int64(0)
+	preCharges := s.charges
+	for q.Len() > 0 && q.times[0] < windowEnd {
+		if k.cfg.EndTime > 0 && q.times[0] >= k.cfg.EndTime {
 			break
 		}
-		ev := q.pop()
-		s.now = ev.Time
-		stats.Events[lp]++
-		preCharge := s.charges
-		k.cfg.Handler(lp, ev.Time, ev.Data, s)
-		stats.Charges[lp] += s.charges - preCharge
+		t, data := q.pop()
+		s.now = t
+		events++
+		k.cfg.Handler(lp, t, data, s)
 		if s.err != nil {
 			break
 		}
 	}
+	stats.Events[lp] += events
+	stats.Charges[lp] += s.charges - preCharges
 	stats.RemoteSends[lp] += s.remote
 	if k.recording {
 		// Each LP goroutine writes only its own slot, so no synchronization
@@ -425,26 +553,96 @@ func (k *Kernel) runWindow(lp int, s *Scheduler, T, windowEnd float64, stats *St
 	}
 }
 
-// mergeOutboxes distributes cross-LP events into destination queues in a
-// deterministic order (time, then sending LP, then send order), assigning
-// fresh local sequence numbers.
+// mergeOutboxes distributes the window's cross-LP batches into destination
+// queues. Sequence numbers are per destination LP, so the historical global
+// (time, source LP, send order) insertion order can be applied one
+// destination at a time: sorting each destination's incoming events by that
+// same key is exactly the restriction of the global order to that
+// destination, and destinations' queues are independent, so the per-LP seq
+// assignment — and therefore every queue — is byte-identical to the
+// reference merge (Config.ReferenceBarrier re-enables the historical global
+// sort so tests can verify this).
 func (k *Kernel) mergeOutboxes(scheds []*Scheduler) {
+	if k.cfg.ReferenceBarrier {
+		k.mergeOutboxesReference(scheds)
+		return
+	}
+	if k.perDst == nil {
+		k.perDst = make([][]*batch, k.cfg.NumLPs)
+	}
+	// Bucket batches by destination. Iterating sources in ascending LP order
+	// keeps each bucket's batches pre-sorted by the source tiebreak.
+	for _, s := range scheds {
+		for _, b := range s.batches {
+			if len(k.perDst[b.Dst]) == 0 {
+				k.dstList = append(k.dstList, b.Dst)
+			}
+			k.perDst[b.Dst] = append(k.perDst[b.Dst], b)
+			s.batchAt[b.Dst] = nil
+		}
+		s.batches = s.batches[:0]
+	}
+	if len(k.dstList) == 0 {
+		return
+	}
+	sort.Ints(k.dstList)
+	m := &k.merge
+	for _, dst := range k.dstList {
+		bs := k.perDst[dst]
+		if len(bs) == 1 && len(bs[0].Times) == 1 {
+			// Single incoming event: no ordering decision to make.
+			k.pushLocal(dst, bs[0].Times[0], bs[0].Datas[0])
+		} else {
+			m.reset()
+			for _, b := range bs {
+				m.appendBatch(b)
+			}
+			if !m.sorted() {
+				sort.Sort(m)
+			}
+			for i := range m.times {
+				k.pushLocal(dst, m.times[i], m.datas[i])
+			}
+		}
+		for _, b := range bs {
+			putBatch(b)
+		}
+		k.perDst[dst] = k.perDst[dst][:0]
+	}
+	k.dstList = k.dstList[:0]
+	m.clearRefs()
+}
+
+// mergeOutboxesReference is the pre-batching barrier: tag every event with
+// (source, send order), sort the whole window globally by (time, source LP,
+// send order), and insert in that one global sequence. Kept as the testing
+// oracle the default per-destination merge is verified against.
+func (k *Kernel) mergeOutboxesReference(scheds []*Scheduler) {
 	type tagged struct {
-		ev     Event
+		time   float64
+		dst    int
 		src    int
-		srcIdx int
+		srcIdx int32
+		data   any
 	}
 	var all []tagged
-	for src, s := range scheds {
-		for i, ev := range s.outbox {
-			all = append(all, tagged{ev: ev, src: src, srcIdx: i})
+	for _, s := range scheds {
+		for _, b := range s.batches {
+			for i := range b.Times {
+				all = append(all, tagged{
+					time: b.Times[i], dst: b.Dst, src: b.Src,
+					srcIdx: b.SrcIdx[i], data: b.Datas[i],
+				})
+			}
+			s.batchAt[b.Dst] = nil
+			putBatch(b)
 		}
-		s.outbox = s.outbox[:0]
+		s.batches = s.batches[:0]
 	}
 	sort.Slice(all, func(i, j int) bool {
 		a, b := all[i], all[j]
-		if a.ev.Time != b.ev.Time {
-			return a.ev.Time < b.ev.Time
+		if a.time != b.time {
+			return a.time < b.time
 		}
 		if a.src != b.src {
 			return a.src < b.src
@@ -452,7 +650,73 @@ func (k *Kernel) mergeOutboxes(scheds []*Scheduler) {
 		return a.srcIdx < b.srcIdx
 	})
 	for _, t := range all {
-		k.pushLocal(t.ev.LP, t.ev)
+		k.pushLocal(t.dst, t.time, t.data)
+	}
+}
+
+// mergeScratch is the reusable structure-of-arrays sort area for one
+// destination's barrier merge, ordered by (time, source LP, send order).
+type mergeScratch struct {
+	times []float64
+	srcs  []int32
+	idxs  []int32
+	datas []any
+}
+
+func (m *mergeScratch) Len() int { return len(m.times) }
+
+func (m *mergeScratch) Less(i, j int) bool {
+	if m.times[i] != m.times[j] {
+		return m.times[i] < m.times[j]
+	}
+	if m.srcs[i] != m.srcs[j] {
+		return m.srcs[i] < m.srcs[j]
+	}
+	return m.idxs[i] < m.idxs[j]
+}
+
+func (m *mergeScratch) Swap(i, j int) {
+	m.times[i], m.times[j] = m.times[j], m.times[i]
+	m.srcs[i], m.srcs[j] = m.srcs[j], m.srcs[i]
+	m.idxs[i], m.idxs[j] = m.idxs[j], m.idxs[i]
+	m.datas[i], m.datas[j] = m.datas[j], m.datas[i]
+}
+
+func (m *mergeScratch) reset() {
+	m.times = m.times[:0]
+	m.srcs = m.srcs[:0]
+	m.idxs = m.idxs[:0]
+	m.datas = m.datas[:0]
+}
+
+func (m *mergeScratch) appendBatch(b *batch) {
+	src := int32(b.Src)
+	for i := range b.Times {
+		m.times = append(m.times, b.Times[i])
+		m.srcs = append(m.srcs, src)
+		m.idxs = append(m.idxs, b.SrcIdx[i])
+		m.datas = append(m.datas, b.Datas[i])
+	}
+}
+
+// sorted reports whether the scratch is already in merge order — the common
+// case when one source feeds the destination with non-decreasing timestamps,
+// letting the barrier skip the sort entirely.
+func (m *mergeScratch) sorted() bool {
+	for i := 1; i < len(m.times); i++ {
+		if m.Less(i, i-1) {
+			return false
+		}
+	}
+	return true
+}
+
+// clearRefs drops payload references after a barrier (the destination queues
+// own them now) without shrinking the backing arrays.
+func (m *mergeScratch) clearRefs() {
+	d := m.datas[:cap(m.datas)]
+	for i := range d {
+		d[i] = nil
 	}
 }
 
@@ -462,7 +726,7 @@ func (k *Kernel) minNextTime() (float64, bool) {
 	found := false
 	for lp := range k.queues {
 		if k.queues[lp].Len() > 0 {
-			if t := k.queues[lp][0].Time; t < best {
+			if t := k.queues[lp].times[0]; t < best {
 				best = t
 				found = true
 			}
@@ -479,44 +743,59 @@ func windowFloor(t, L float64) float64 {
 	return math.Floor(t/L) * L
 }
 
-// eventHeap is a binary min-heap ordered by (Time, seq). The push/pop
-// methods operate on Event values directly instead of going through
-// container/heap, whose any-typed interface boxes every event on both push
-// and pop — two heap allocations per simulation event on the hottest path in
-// the kernel.
-type eventHeap []Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) less(i, j int) bool {
-	if h[i].Time != h[j].Time {
-		return h[i].Time < h[j].Time
-	}
-	return h[i].seq < h[j].seq
+// eventHeap is a binary min-heap ordered by (time, seq) in structure-of-
+// arrays layout: parallel time/seq/payload slices instead of a slice of
+// Event structs. Sift comparisons touch only the flat float64/int64 arrays —
+// no payload pointers are loaded until pop returns one — and the hand-rolled
+// push/pop avoid container/heap's any-typed interface, which would box every
+// event on both push and pop.
+type eventHeap struct {
+	times []float64
+	seqs  []int64
+	datas []any
+	// Pad each heap header out to two cache lines: the kernel stores one
+	// eventHeap per LP in a flat slice, and push/pop rewrite the slice
+	// headers, so without padding adjacent LPs' headers would false-share
+	// under parallel execution.
+	_ [56]byte
 }
 
-func (h *eventHeap) push(ev Event) {
-	*h = append(*h, ev)
-	q := *h
-	i := len(q) - 1
+func (h *eventHeap) Len() int { return len(h.times) }
+
+func (h *eventHeap) less(i, j int) bool {
+	if h.times[i] != h.times[j] {
+		return h.times[i] < h.times[j]
+	}
+	return h.seqs[i] < h.seqs[j]
+}
+
+func (h *eventHeap) swap(i, j int) {
+	h.times[i], h.times[j] = h.times[j], h.times[i]
+	h.seqs[i], h.seqs[j] = h.seqs[j], h.seqs[i]
+	h.datas[i], h.datas[j] = h.datas[j], h.datas[i]
+}
+
+func (h *eventHeap) push(t float64, seq int64, data any) {
+	h.times = append(h.times, t)
+	h.seqs = append(h.seqs, seq)
+	h.datas = append(h.datas, data)
+	i := h.Len() - 1
 	for i > 0 {
 		parent := (i - 1) / 2
-		if !q.less(i, parent) {
+		if !h.less(i, parent) {
 			break
 		}
-		q[i], q[parent] = q[parent], q[i]
+		h.swap(i, parent)
 		i = parent
 	}
 }
 
-func (h *eventHeap) pop() Event {
-	q := *h
-	ev := q[0]
-	last := len(q) - 1
-	q[0] = q[last]
-	q[last] = Event{} // release the payload reference
-	q = q[:last]
-	*h = q
+func (h *eventHeap) pop() (float64, any) {
+	t, data := h.times[0], h.datas[0]
+	last := h.Len() - 1
+	h.swap(0, last)
+	h.datas[last] = nil // release the payload reference
+	h.times, h.seqs, h.datas = h.times[:last], h.seqs[:last], h.datas[:last]
 	i := 0
 	for {
 		left := 2*i + 1
@@ -524,14 +803,24 @@ func (h *eventHeap) pop() Event {
 			break
 		}
 		child := left
-		if right := left + 1; right < last && q.less(right, left) {
+		if right := left + 1; right < last && h.less(right, left) {
 			child = right
 		}
-		if !q.less(child, i) {
+		if !h.less(child, i) {
 			break
 		}
-		q[i], q[child] = q[child], q[i]
+		h.swap(child, i)
 		i = child
 	}
-	return ev
+	return t, data
+}
+
+// export copies the heap's contents out as Events for LP lp (heap order, not
+// time order — checkpointing sorts afterwards).
+func (h *eventHeap) export(lp int) []Event {
+	evs := make([]Event, h.Len())
+	for i := range evs {
+		evs[i] = Event{Time: h.times[i], LP: lp, Data: h.datas[i], seq: h.seqs[i]}
+	}
+	return evs
 }

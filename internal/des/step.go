@@ -3,6 +3,7 @@ package des
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 )
 
@@ -42,8 +43,11 @@ type StepResult struct {
 	Remote  []int64
 	// Queue is the post-window (pre-merge) pending-event count per LP.
 	Queue []int64
-	// Outbox holds the window's cross-LP events in (Src, SrcIdx) order,
-	// unsorted: the coordinator merges outboxes from all Steppers globally.
+	// Outbox holds the window's cross-LP events flattened from the kernel's
+	// per-destination batches: grouped by (source LP, destination) in batch
+	// first-touch order, unsorted. The coordinator merges outboxes from all
+	// Steppers globally and must SortSent (or the wire equivalent) before
+	// injecting.
 	Outbox []Sent
 }
 
@@ -56,7 +60,11 @@ type Stepper struct {
 	scheds  []*Scheduler // indexed by LP; nil for non-local LPs
 	stats   *Stats
 	res     StepResult
-	failed  error
+	// pre and done are per-Step scratch reused across windows (pre-window
+	// event counts; worker completion signals).
+	pre    []int64
+	done   chan struct{}
+	failed error
 }
 
 // Stepper claims the given LPs of the kernel for external window-by-window
@@ -109,8 +117,10 @@ func (k *Kernel) Stepper(local []int) (*Stepper, error) {
 			return nil, fmt.Errorf("des: Stepper local LP %d listed twice", lp)
 		}
 		st.isLocal[lp] = true
-		st.scheds[lp] = &Scheduler{k: k, lp: lp}
+		st.scheds[lp] = k.newScheduler(lp)
 	}
+	st.pre = make([]int64, 0, len(st.local))
+	st.done = make(chan struct{}, len(st.local))
 	k.ran = true
 	k.runStats = st.stats // lets Kernel.Checkpoint snapshot mid-stepping
 	return st, nil
@@ -123,8 +133,8 @@ func (st *Stepper) NextEventTime() (float64, bool) {
 	best := math.Inf(1)
 	found := false
 	for _, lp := range st.local {
-		if q := st.k.queues[lp]; q.Len() > 0 && q[0].Time < best {
-			best = q[0].Time
+		if q := &st.k.queues[lp]; q.Len() > 0 && q.times[0] < best {
+			best = q.times[0]
 			found = true
 		}
 	}
@@ -140,24 +150,26 @@ func (st *Stepper) Step(T, end float64) (*StepResult, error) {
 		return nil, st.failed
 	}
 	k := st.k
-	pre := make([]int64, 0, len(st.local))
+	st.pre = st.pre[:0]
 	for _, lp := range st.local {
-		pre = append(pre, st.stats.Events[lp])
+		st.pre = append(st.pre, st.stats.Events[lp])
 	}
-	if k.cfg.Sequential || len(st.local) == 1 {
+	// Mirror Run's dispatch policy: goroutine-per-LP only when real
+	// parallelism is available (results are identical either way).
+	if k.cfg.Sequential || len(st.local) == 1 ||
+		(runtime.GOMAXPROCS(0) == 1 && !k.cfg.ForceParallel) {
 		for _, lp := range st.local {
-			k.runWindow(lp, st.scheds[lp], T, end, st.stats)
+			k.runWindow(lp, st.scheds[lp], end, st.stats)
 		}
 	} else {
-		done := make(chan struct{}, len(st.local))
 		for _, lp := range st.local {
 			go func(lp int) {
-				k.runWindow(lp, st.scheds[lp], T, end, st.stats)
-				done <- struct{}{}
+				k.runWindow(lp, st.scheds[lp], end, st.stats)
+				st.done <- struct{}{}
 			}(lp)
 		}
 		for range st.local {
-			<-done
+			<-st.done
 		}
 	}
 	for _, lp := range st.local {
@@ -170,18 +182,25 @@ func (st *Stepper) Step(T, end float64) (*StepResult, error) {
 	res.Outbox = res.Outbox[:0]
 	for i, lp := range st.local {
 		s := st.scheds[lp]
-		res.Events[lp] = st.stats.Events[lp] - pre[i]
+		res.Events[lp] = st.stats.Events[lp] - st.pre[i]
 		res.Charges[lp] = s.charges
 		res.Remote[lp] = s.remote
 		res.Queue[lp] = int64(k.queues[lp].Len())
 		s.charges = 0
 		s.remote = 0
-		for idx, ev := range s.outbox {
-			res.Outbox = append(res.Outbox, Sent{
-				Time: ev.Time, Dst: ev.LP, Data: ev.Data, Src: lp, SrcIdx: idx,
-			})
+		// Flatten the window's per-destination batches. The raw order is
+		// batch first-touch, not send order — consumers sort globally.
+		for _, b := range s.batches {
+			for j := range b.Times {
+				res.Outbox = append(res.Outbox, Sent{
+					Time: b.Times[j], Dst: b.Dst, Data: b.Datas[j],
+					Src: lp, SrcIdx: int(b.SrcIdx[j]),
+				})
+			}
+			s.batchAt[b.Dst] = nil
+			putBatch(b)
 		}
-		s.outbox = s.outbox[:0]
+		s.batches = s.batches[:0]
 	}
 	st.stats.Windows++
 	st.stats.VirtualEnd = end
@@ -196,7 +215,7 @@ func (st *Stepper) Inject(evs []Sent) error {
 		if sv.Dst < 0 || sv.Dst >= st.k.cfg.NumLPs || !st.isLocal[sv.Dst] {
 			return fmt.Errorf("des: injected event at t=%g for non-local LP %d", sv.Time, sv.Dst)
 		}
-		st.k.pushLocal(sv.Dst, Event{Time: sv.Time, LP: sv.Dst, Data: sv.Data})
+		st.k.pushLocal(sv.Dst, sv.Time, sv.Data)
 	}
 	return nil
 }

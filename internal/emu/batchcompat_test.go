@@ -1,0 +1,155 @@
+package emu
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The byte-identical acceptance matrix for the batched kernel hot path.
+//
+// kernelOutcome captures everything deterministic a run produces: the full
+// JSONL observability trace (per-window, per-engine counters — any event
+// reordering shows up here) and the canonical result fields dist.ResultJSON
+// serializes (wall-clock times excluded). The batched sequential, batched
+// parallel (both natural and forced-worker) paths must match the pre-batching
+// reference barrier exactly; internal/dist's TestDistributedMatchesInProcess
+// extends the chain to the loopback distributed runtime by comparing its
+// ResultJSON against the in-process batched path.
+type kernelOutcome struct {
+	trace       string
+	windows     int64
+	virtualEnd  float64
+	skippedTime float64
+	events      []int64
+	charges     []int64
+	remoteSends []int64
+
+	engineLoads    []float64
+	imbalance      float64
+	appTime        float64
+	netTime        float64
+	engineBusy     []float64
+	remoteEvents   int64
+	flowFCTs       []float64
+	droppedPackets int64
+	linkBytes      []int64
+}
+
+// runOutcome executes cfg in the current kernel mode and extracts the
+// deterministic outcome.
+func runOutcome(t *testing.T, cfg Config) kernelOutcome {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewTrace(&buf)
+	res, err := Run(cfg, WithRecorder(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return kernelOutcome{
+		trace:       buf.String(),
+		windows:     res.Kernel.Windows,
+		virtualEnd:  res.Kernel.VirtualEnd,
+		skippedTime: res.Kernel.SkippedTime,
+		events:      res.Kernel.Events,
+		charges:     res.Kernel.Charges,
+		remoteSends: res.Kernel.RemoteSends,
+
+		engineLoads:    res.EngineLoads,
+		imbalance:      res.Imbalance,
+		appTime:        res.AppTime,
+		netTime:        res.NetTime,
+		engineBusy:     res.EngineBusy,
+		remoteEvents:   res.RemoteEvents,
+		flowFCTs:       res.FlowFCTs,
+		droppedPackets: res.DroppedPackets,
+		linkBytes:      res.LinkBytes,
+	}
+}
+
+// setKernelMode flips the package test knobs and restores them at cleanup.
+func setKernelMode(t *testing.T, reference, forcePar bool) {
+	t.Helper()
+	kernelReferenceBarrier, kernelForceParallel = reference, forcePar
+	t.Cleanup(func() { kernelReferenceBarrier, kernelForceParallel = false, false })
+}
+
+// TestBatchedPathByteIdentical runs plain, faulted (checkpoint + rollback +
+// replay) and PROFILE scenarios through every kernel mode and requires
+// trace-for-trace, field-for-field equality with the pre-batching reference
+// barrier. This is the overhaul's acceptance gate: pooled per-destination
+// batches, the SoA heap and the per-destination barrier merge must be
+// invisible in every observable output.
+func TestBatchedPathByteIdentical(t *testing.T) {
+	scenarios := []struct {
+		name string
+		cfg  func() Config
+	}{
+		{"plain", func() Config {
+			return Config{
+				Network:    lineNet(),
+				Assignment: []int{0, 0, 1, 1},
+				NumEngines: 2,
+				Workload:   spreadFlows(16, 8),
+			}
+		}},
+		{"faulted", faultedConfig},
+		{"profile", func() Config {
+			cfg := Config{
+				Network:    lineNet(),
+				Assignment: []int{0, 0, 1, 1},
+				NumEngines: 2,
+				Workload:   spreadFlows(16, 8),
+			}
+			cfg.Profile = true
+			return cfg
+		}},
+		{"tcp-buffered", func() Config {
+			return Config{
+				Network:     lineNet(),
+				Assignment:  []int{0, 0, 1, 1},
+				NumEngines:  2,
+				Workload:    spreadFlows(16, 8),
+				Transport:   TCPSlowStart,
+				BufferBytes: 32 << 10,
+			}
+		}},
+	}
+	modes := []struct {
+		name                 string
+		sequential, forcePar bool
+	}{
+		{"batched-sequential", true, false},
+		{"batched-parallel", false, false},
+		{"batched-parallel-forced", false, true},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			// The oracle: the pre-batching global-sort barrier, sequentially.
+			setKernelMode(t, true, false)
+			refCfg := sc.cfg()
+			refCfg.Sequential = true
+			ref := runOutcome(t, refCfg)
+			if ref.trace == "" || ref.windows == 0 {
+				t.Fatal("reference run produced no observable output")
+			}
+			for _, m := range modes {
+				setKernelMode(t, false, m.forcePar)
+				cfg := sc.cfg()
+				cfg.Sequential = m.sequential
+				got := runOutcome(t, cfg)
+				if got.trace != ref.trace {
+					t.Errorf("%s: JSONL trace diverged from the reference barrier", m.name)
+				}
+				if !reflect.DeepEqual(got, ref) {
+					t.Errorf("%s: result fields diverged from the reference barrier", m.name)
+				}
+			}
+		})
+	}
+}

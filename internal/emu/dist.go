@@ -63,7 +63,7 @@ func (e *emulation) encodeSent(s des.Sent) (WireEvent, error) {
 		w.Flow = int32(d.flow.idx)
 		w.Offset = d.offset
 		w.Window = int32(d.window)
-	case chunkArrival:
+	case *chunkArrival:
 		w.Kind = WireChunk
 		w.Flow = int32(d.flow.idx)
 		w.Hop = int32(d.hop)
@@ -93,7 +93,7 @@ func (e *emulation) decodeWire(w WireEvent) (des.Sent, error) {
 		if w.Hop < 0 || int(w.Hop) >= len(f.path) {
 			return s, fmt.Errorf("%w: wire chunk at hop %d of a %d-hop path", ErrBadConfig, w.Hop, len(f.path))
 		}
-		s.Data = chunkArrival{flow: f, hop: int(w.Hop), packets: w.Packets, bytes: w.Bytes}
+		s.Data = e.chunkAt(f, int(w.Hop), w.Packets, w.Bytes)
 	default:
 		return s, fmt.Errorf("%w: unknown wire event kind %d", ErrBadConfig, w.Kind)
 	}
@@ -181,6 +181,12 @@ type DistLocal struct {
 	lastBucket int
 	ckpt       *checkpointState
 	ckpts      int
+	// rep and injectBuf are per-window scratch reused across calls: the
+	// WindowReport Step returns is valid until the next Step, and Inject
+	// decodes the whole barrier batch into injectBuf before a single bulk
+	// push into the stepper.
+	rep       WindowReport
+	injectBuf []des.Sent
 }
 
 // NewDistLocal builds the worker-side engine runtime for the given local
@@ -225,34 +231,38 @@ func (d *DistLocal) Lookahead() float64 { return d.e.lookahead }
 // Vote returns the earliest pending local event time (the barrier vote).
 func (d *DistLocal) Vote() (float64, bool) { return d.stepper.NextEventTime() }
 
-// Inject delivers barrier-merged events, already in global merge order.
+// Inject delivers barrier-merged events, already in global merge order. The
+// whole batch is decoded first, then pushed in one stepper call — order
+// within the batch is preserved, so sequence assignment is unchanged.
 func (d *DistLocal) Inject(evs []WireEvent) error {
+	d.injectBuf = d.injectBuf[:0]
 	for _, w := range evs {
 		s, err := d.e.decodeWire(w)
 		if err != nil {
 			return err
 		}
-		if err := d.stepper.Inject([]des.Sent{s}); err != nil {
-			return err
-		}
+		d.injectBuf = append(d.injectBuf, s)
 	}
-	return nil
+	return d.stepper.Inject(d.injectBuf)
 }
 
 // Step executes one window on the local engines and reports its counters,
 // outbox and telemetry share. A handler error (including a poisoned run from
-// a malformed event) is returned, not panicked.
+// a malformed event) is returned, not panicked. The returned report reuses
+// per-window scratch buffers and is only valid until the next Step call —
+// callers that retain it across windows must copy.
 func (d *DistLocal) Step(T, end float64) (*WindowReport, error) {
 	res, err := d.stepper.Step(T, end)
 	if err != nil {
 		return nil, err
 	}
-	r := &WindowReport{
-		Events:  append([]int64(nil), res.Events...),
-		Charges: append([]int64(nil), res.Charges...),
-		Remote:  append([]int64(nil), res.Remote...),
-		Queue:   append([]int64(nil), res.Queue...),
-	}
+	r := &d.rep
+	r.Events = append(r.Events[:0], res.Events...)
+	r.Charges = append(r.Charges[:0], res.Charges...)
+	r.Remote = append(r.Remote[:0], res.Remote...)
+	r.Queue = append(r.Queue[:0], res.Queue...)
+	r.Outbox = r.Outbox[:0]
+	r.Telemetry = nil
 	for _, s := range res.Outbox {
 		w, err := d.e.encodeSent(s)
 		if err != nil {

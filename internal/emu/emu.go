@@ -242,6 +242,15 @@ type flowRun struct {
 	bytes    int64
 	rtt      float64 // 2x one-way path latency (for TCP pacing)
 	tag      string
+
+	// full[h] and tail[h] are the flow's two possible packet-group payloads
+	// at hop h, precomputed at prepare time. A flow's chunks all carry
+	// ChunkBytes except a final remainder, so every chunk event on the hot
+	// path reuses one of these immutable shared values by pointer instead of
+	// boxing a fresh payload per forwarded event. tail is nil when the flow's
+	// size divides evenly.
+	full []chunkArrival
+	tail []chunkArrival
 }
 
 // flowStart injects a flow at its source host.
@@ -249,12 +258,28 @@ type flowStart struct {
 	flow *flowRun
 }
 
-// chunkArrival is one packet group arriving at path[hop].
+// chunkArrival is one packet group arriving at path[hop]. Chunk events are
+// scheduled as *chunkArrival pointers to the flow's precomputed full/tail
+// payloads; handlers treat them as immutable (the same pointer may be pending
+// in several queues and in checkpoint snapshots at once).
 type chunkArrival struct {
 	flow    *flowRun
 	hop     int
 	packets int64
 	bytes   int64
+}
+
+// chunkAt returns the shared payload for (flow, hop, packets, bytes),
+// falling back to a fresh value for shapes that don't match the flow's
+// precomputed chunks (only reachable via malformed wire events).
+func (e *emulation) chunkAt(f *flowRun, hop int, packets, bytes int64) *chunkArrival {
+	if bytes == e.cfg.ChunkBytes && hop < len(f.full) && f.full[hop].packets == packets {
+		return &f.full[hop]
+	}
+	if hop < len(f.tail) && f.tail[hop].bytes == bytes && f.tail[hop].packets == packets {
+		return &f.tail[hop]
+	}
+	return &chunkArrival{flow: f, hop: hop, packets: packets, bytes: bytes}
 }
 
 // Lookahead returns the synchronization window implied by an assignment: the
@@ -365,23 +390,41 @@ func prepare(cfg *Config, o *runOptions) (*emulation, error) {
 		rt = nw.AutoRouting()
 	}
 
-	// Resolve flow routes up front; routes are static for a run.
+	// Resolve flow routes up front; routes are static for a run. The chunk
+	// payloads each flow can ever carry (full-size groups plus an optional
+	// tail remainder, per hop) are precomputed here so the forwarding hot
+	// path schedules shared immutable pointers instead of boxing a payload
+	// per event.
+	fullPackets := (cfg.ChunkBytes + cfg.MTU - 1) / cfg.MTU
 	flows := make([]*flowRun, 0, len(cfg.Workload.Flows))
 	for _, f := range cfg.Workload.Flows {
-		path := nw.Route(rt, f.Src, f.Dst)
+		path, links := nw.RoutePath(rt, f.Src, f.Dst)
 		if path == nil {
 			return nil, fmt.Errorf("%w: flow %d has no route %d -> %d", ErrBadConfig, f.ID, f.Src, f.Dst)
 		}
-		links := nw.RouteLinks(rt, f.Src, f.Dst)
 		var oneWay float64
 		for _, lid := range links {
 			oneWay += nw.Links[lid].Latency
 		}
-		flows = append(flows, &flowRun{
+		fr := &flowRun{
 			idx: len(flows),
 			id:  f.ID, src: f.Src, dst: f.Dst, start: f.Start,
 			path: path, links: links, bytes: f.Bytes, rtt: 2 * oneWay, tag: f.Tag,
-		})
+		}
+		if f.Bytes >= cfg.ChunkBytes {
+			fr.full = make([]chunkArrival, len(path))
+			for h := range fr.full {
+				fr.full[h] = chunkArrival{flow: fr, hop: h, packets: fullPackets, bytes: cfg.ChunkBytes}
+			}
+		}
+		if tailBytes := f.Bytes % cfg.ChunkBytes; tailBytes > 0 {
+			tp := (tailBytes + cfg.MTU - 1) / cfg.MTU
+			fr.tail = make([]chunkArrival, len(path))
+			for h := range fr.tail {
+				fr.tail[h] = chunkArrival{flow: fr, hop: h, packets: tp, bytes: tailBytes}
+			}
+		}
+		flows = append(flows, fr)
 	}
 
 	duration := cfg.Workload.Duration
@@ -476,16 +519,28 @@ func prepare(cfg *Config, o *runOptions) (*emulation, error) {
 	return e, nil
 }
 
+// kernelReferenceBarrier routes every kernel this package builds through the
+// pre-batching global-sort barrier (des.Config.ReferenceBarrier) — a testing
+// knob for the byte-identical oracle regressions. Never set outside tests.
+var kernelReferenceBarrier = false
+
+// kernelForceParallel forces the goroutine-per-engine worker path even on a
+// single-CPU host (des.Config.ForceParallel), so race-enabled tests exercise
+// the concurrent window path everywhere. Never set outside tests.
+var kernelForceParallel = false
+
 // kernelConfig is the handler-and-width core of the kernel configuration;
 // Run layers the in-process observer and barrier hooks on top, while a
 // distributed worker runs it bare (the coordinator owns the barrier).
 func (e *emulation) kernelConfig() des.Config {
 	return des.Config{
-		NumLPs:     e.cfg.NumEngines,
-		Lookahead:  e.lookahead,
-		Handler:    e.handle,
-		EndTime:    e.cfg.EndTime,
-		Sequential: e.cfg.Sequential,
+		NumLPs:           e.cfg.NumEngines,
+		Lookahead:        e.lookahead,
+		Handler:          e.handle,
+		EndTime:          e.cfg.EndTime,
+		Sequential:       e.cfg.Sequential,
+		ReferenceBarrier: kernelReferenceBarrier,
+		ForceParallel:    kernelForceParallel,
 	}
 }
 
@@ -745,15 +800,29 @@ func (e *emulation) bucketOf(t float64) int {
 // observe accumulates one executed window into the time model. Straggler and
 // cluster-degradation faults scale the cost terms here: a slowed engine pays
 // more per kernel event, a degraded cluster network more per remote send.
+// The charges/remote slices are the kernel's recycled window buffers — they
+// are fully consumed before returning and never retained (the telemetry
+// Commit below folds charges into its own arrays the same way).
 func (e *emulation) observe(start, end float64, charges, remote []int64) {
 	b := e.bucketOf(start)
-	for lp := 0; lp < e.cfg.NumEngines; lp++ {
-		evCost := float64(charges[lp]) * e.cost.PerEvent * e.cfg.Faults.SlowdownAt(lp, start)
-		rmCost := float64(remote[lp]) * e.cost.PerRemote * e.cfg.Faults.RemoteFactorAt(start)
-		c := (evCost + rmCost) / e.speedOf(lp)
-		e.engineBusy[lp] += c
-		e.bucketCost[b][lp] += c
-		e.series.Add(start, lp, float64(charges[lp]))
+	if e.cfg.Faults == nil && e.speeds == nil {
+		// Fault-free homogeneous fast path: no per-LP schedule lookups.
+		bc := e.bucketCost[b]
+		for lp := 0; lp < e.cfg.NumEngines; lp++ {
+			c := float64(charges[lp])*e.cost.PerEvent + float64(remote[lp])*e.cost.PerRemote
+			e.engineBusy[lp] += c
+			bc[lp] += c
+			e.series.Add(start, lp, float64(charges[lp]))
+		}
+	} else {
+		for lp := 0; lp < e.cfg.NumEngines; lp++ {
+			evCost := float64(charges[lp]) * e.cost.PerEvent * e.cfg.Faults.SlowdownAt(lp, start)
+			rmCost := float64(remote[lp]) * e.cost.PerRemote * e.cfg.Faults.RemoteFactorAt(start)
+			c := (evCost + rmCost) / e.speedOf(lp)
+			e.engineBusy[lp] += c
+			e.bucketCost[b][lp] += c
+			e.series.Add(start, lp, float64(charges[lp]))
+		}
 	}
 	e.bucketSync[b] += e.cost.PerWindow
 	e.bucketBusyWidth[b] += end - start
@@ -773,7 +842,7 @@ func (e *emulation) handle(lp int, t float64, data any, s *des.Scheduler) {
 		}
 	case tcpRound:
 		e.releaseRound(t, ev, s)
-	case chunkArrival:
+	case *chunkArrival:
 		e.arrive(t, ev, s)
 	default:
 		// An unknown payload is a protocol error (e.g. a malformed event
@@ -785,23 +854,26 @@ func (e *emulation) handle(lp int, t float64, data any, s *des.Scheduler) {
 }
 
 // startFlowBlast splits the flow into chunks and forwards each from the
-// source immediately.
+// source immediately, reusing the precomputed shared payloads.
 func (e *emulation) startFlowBlast(t float64, f *flowRun, s *des.Scheduler) {
 	remaining := f.bytes
 	for remaining > 0 {
-		b := e.cfg.ChunkBytes
-		if b > remaining {
-			b = remaining
+		var c *chunkArrival
+		if remaining >= e.cfg.ChunkBytes {
+			c = &f.full[0]
+		} else {
+			c = &f.tail[0]
 		}
-		remaining -= b
-		packets := (b + e.cfg.MTU - 1) / e.cfg.MTU
-		e.arrive(t, chunkArrival{flow: f, hop: 0, packets: packets, bytes: b}, s)
+		remaining -= c.bytes
+		e.arrive(t, c, s)
 	}
 }
 
 // arrive processes a chunk at node path[hop]: charge the kernel events,
 // account NetFlow, and forward over the next link if not at the destination.
-func (e *emulation) arrive(t float64, c chunkArrival, s *des.Scheduler) {
+// c is a shared immutable payload — never written, only replaced by its
+// next-hop twin when forwarding.
+func (e *emulation) arrive(t float64, c *chunkArrival, s *des.Scheduler) {
 	f := c.flow
 	node := f.path[c.hop]
 	s.Charge(c.packets)
@@ -873,6 +945,5 @@ func (e *emulation) arrive(t float64, c chunkArrival, s *des.Scheduler) {
 		e.tel.ObserveForward(e.assignment[node], e.assignment[next], lid, dir,
 			c.bytes, c.packets, wait)
 	}
-	c.hop++
-	s.Schedule(e.assignment[next], arrival, c)
+	s.Schedule(e.assignment[next], arrival, e.chunkAt(f, c.hop+1, c.packets, c.bytes))
 }

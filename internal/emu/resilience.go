@@ -151,7 +151,7 @@ func (e *emulation) ownerOf(ev des.Event) (int, bool) {
 		return e.assignment[d.flow.src], true
 	case tcpRound:
 		return e.assignment[d.flow.src], true
-	case chunkArrival:
+	case *chunkArrival:
 		return e.assignment[d.flow.path[d.hop]], true
 	default:
 		return ev.LP, true

@@ -65,16 +65,19 @@ func (e *emulation) startFlowTCP(t float64, f *flowRun, s *des.Scheduler) {
 	}
 }
 
-// releaseRound injects up to window chunks starting at the round's offset.
+// releaseRound injects up to window chunks starting at the round's offset,
+// reusing the flow's precomputed shared payloads.
 func (e *emulation) releaseRound(t float64, r tcpRound, s *des.Scheduler) {
-	remaining := r.flow.bytes - r.offset
+	f := r.flow
+	remaining := f.bytes - r.offset
 	for i := 0; i < r.window && remaining > 0; i++ {
-		b := e.cfg.ChunkBytes
-		if b > remaining {
-			b = remaining
+		var c *chunkArrival
+		if remaining >= e.cfg.ChunkBytes {
+			c = &f.full[0]
+		} else {
+			c = &f.tail[0]
 		}
-		remaining -= b
-		packets := (b + e.cfg.MTU - 1) / e.cfg.MTU
-		e.arrive(t, chunkArrival{flow: r.flow, hop: 0, packets: packets, bytes: b}, s)
+		remaining -= c.bytes
+		e.arrive(t, c, s)
 	}
 }

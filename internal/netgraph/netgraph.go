@@ -555,6 +555,33 @@ func (nw *Network) Route(rt Routing, src, dst int) []int {
 	return path
 }
 
+// RoutePath walks the routing oracle once and returns both the node path
+// (inclusive of both endpoints) and the link IDs between consecutive hops —
+// the fused equivalent of Route followed by RouteLinks at half the oracle
+// walks, for callers (like the emulator's flow setup) that need both views.
+// Returns (nil, nil) if dst is unreachable.
+func (nw *Network) RoutePath(rt Routing, src, dst int) (path, links []int) {
+	if src == dst {
+		return []int{src}, nil
+	}
+	path = append(path, src)
+	cur := src
+	for cur != dst {
+		lid := rt.NextLink(cur, dst)
+		if lid < 0 {
+			return nil, nil
+		}
+		links = append(links, lid)
+		cur = nw.Links[lid].Other(cur)
+		path = append(path, cur)
+		if len(path) > len(nw.Nodes)+1 {
+			// Defensive: a corrupt table would loop forever.
+			return nil, nil
+		}
+	}
+	return path, links
+}
+
 // RouteLinks returns the link-ID path from src to dst; nil if unreachable or
 // src == dst.
 func (nw *Network) RouteLinks(rt Routing, src, dst int) []int {

@@ -71,6 +71,21 @@ func (r *Registry) ResetRegistry() {
 	r.mu.Unlock()
 }
 
+// ZeroAll resets every registered series to its freshly-registered state —
+// value zero, histogram empty — without dropping the families, so existing
+// handles stay valid. Renders byte-identically to a rebuilt registry; used
+// when a collector is reused across runs of the same dimensions.
+func (r *Registry) ZeroAll() {
+	r.mu.Lock()
+	for _, f := range r.fams {
+		for _, sv := range f.series {
+			sv.val = 0
+			sv.hist = nil
+		}
+	}
+	r.mu.Unlock()
+}
+
 // Value is a handle on one counter or gauge series.
 type Value struct {
 	r  *Registry
@@ -285,13 +300,25 @@ type instruments struct {
 
 	queueDelay HistValue
 	fct        HistValue
+
+	// loads is publishWindow's scratch for the imbalance computation,
+	// persistent so publication adds no per-call allocations.
+	loads []float64
+	// engines is the dimension the handle slices were built for; a reset to
+	// the same dimension zeroes values in place instead of rebuilding.
+	engines int
 }
 
 func newInstruments(reg *Registry) *instruments {
-	return &instruments{reg: reg}
+	return &instruments{reg: reg, engines: -1}
 }
 
 func (in *instruments) reset(d Dims) {
+	if d.Engines == in.engines {
+		in.reg.ZeroAll()
+		return
+	}
+	in.engines = d.Engines
 	in.reg.ResetRegistry()
 	in.virtualTime = in.reg.Gauge("massf_virtual_time_seconds",
 		"Virtual time of the last published synchronization window barrier.")
@@ -333,18 +360,19 @@ func (in *instruments) reset(d Dims) {
 		"Flow completion times (all engines merged).")
 }
 
-// publishWindow refreshes the fast-cadence values. Called from Commit/Finish
-// with c.mu held (engines quiesced at the barrier).
+// publishWindow refreshes the scalar, per-engine and matrix values. Called
+// from Commit (measurement-window crossings only) and Finish with c.mu held
+// (engines quiesced at the barrier).
 func (in *instruments) publishWindow(c *Collector) {
 	p := &c.pub
 	in.virtualTime.Set(p.virtualTime)
 	in.windows.Set(float64(p.windows))
-	loads := make([]float64, len(p.engineCharges))
+	in.loads = in.loads[:0]
 	for i, ch := range p.engineCharges {
 		in.engineCharges[i].Set(float64(ch))
-		loads[i] = float64(ch)
+		in.loads = append(in.loads, float64(ch))
 	}
-	in.imbalance.Set(metrics.Imbalance(loads))
+	in.imbalance.Set(metrics.Imbalance(in.loads))
 	var cross, total int64
 	e := c.dims.Engines
 	for s := 0; s < e; s++ {
