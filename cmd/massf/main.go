@@ -32,6 +32,14 @@
 // runs are in flight, and -matrix-out FILE writes each run's final traffic
 // matrix snapshot as JSON (suffixed .<approach> when -approach all).
 //
+// Window tracing: -trace-out FILE writes the run's virtual-time window
+// timeline — per-engine compute spans and barrier-wait gaps, with straggler
+// attribution — as Chrome trace_event JSON, loadable in Perfetto or
+// chrome://tracing. Works in-process and as the distributed coordinator
+// (workers measure, the coordinator merges); with -coordinator -metrics the
+// endpoint additionally serves per-worker gated-window counters,
+// critical-path shares and heartbeat RTTs plus a /healthz summary.
+//
 // Elastic membership: -coordinator ADDR -workers N -approach TOP -elastic
 // keeps the listener open after the run starts — late workers join at the
 // next checkpoint barrier, a worker's Ctrl-C drains it gracefully, and a
@@ -100,6 +108,7 @@ func main() {
 
 		metricsAddr = flag.String("metrics", "", "serve Prometheus /metrics and live /trafficmatrix (plus pprof and expvar) on this address")
 		matrixOut   = flag.String("matrix-out", "", "write each run's final traffic matrix JSON to this file (.<approach> suffix with -approach all)")
+		traceOut    = flag.String("trace-out", "", "write each run's window timeline as Chrome trace_event JSON to this file (.<approach> suffix with -approach all)")
 
 		workerAddr = flag.String("worker", "", "run as a distributed worker: dial the coordinator at this address and serve engines")
 		coordAddr  = flag.String("coordinator", "", "run as the distributed coordinator: listen on this address for workers")
@@ -133,6 +142,7 @@ func main() {
 		pprofAddr:   *pprofAddr,
 		metricsAddr: *metricsAddr,
 		matrixOut:   *matrixOut,
+		traceOut:    *traceOut,
 		worker:      *workerAddr,
 		coordinator: *coordAddr,
 		workers:     *workers,
@@ -332,13 +342,23 @@ func main() {
 		tel = telemetry.New()
 		sc.TelemetryCollector = tel
 	}
+	var health *telemetry.ClusterHealth
+	if *metricsAddr != "" && *coordAddr != "" {
+		// Coordinator runs add the cluster-health plane: worker count,
+		// straggler attribution (fed by the tracing timeline), heartbeat RTTs.
+		health = telemetry.NewClusterHealth()
+		sc.ClusterHealth = health
+	}
 	if *metricsAddr != "" {
-		srv, base, err := obs.ServeDebug(*metricsAddr, telemetry.Mount(tel))
+		srv, base, err := obs.ServeDebug(*metricsAddr, telemetry.MountCluster(tel, health))
 		if err != nil {
 			fatal(err)
 		}
 		defer srv.Close()
 		fmt.Fprintf(os.Stderr, "telemetry endpoint: %s/metrics and %s/trafficmatrix\n", base, base)
+		if health != nil {
+			fmt.Fprintf(os.Stderr, "cluster health: %s/healthz\n", base)
+		}
 	}
 
 	fmt.Printf("%-8s %10s %12s %12s %10s %9s %10s %9s\n",
@@ -363,6 +383,13 @@ func main() {
 			fmt.Fprintf(os.Stderr, "tracing %s run to %s\n", a, path)
 		}
 		sc.Recorder = obs.Multi(recs...)
+		var tl *obs.Timeline
+		if *traceOut != "" || health != nil {
+			// Fresh per approach so the timeline describes one run; the health
+			// plane needs it too (straggler attribution derives from spans).
+			tl = obs.NewTimeline()
+			sc.Trace = tl
+		}
 
 		start := time.Now()
 		var o *core.Outcome
@@ -407,6 +434,24 @@ func main() {
 			if err := tr.Close(); err != nil {
 				fatal(fmt.Errorf("%s: writing trace: %w", a, err))
 			}
+		}
+		if tl != nil && *traceOut != "" {
+			path := *traceOut
+			if len(approaches) > 1 {
+				path += "." + string(a)
+			}
+			f, err := os.Create(path)
+			if err != nil {
+				fatal(err)
+			}
+			if err := tl.WriteTraceEvents(f); err != nil {
+				f.Close()
+				fatal(fmt.Errorf("%s: writing window trace: %w", a, err))
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s window trace to %s\n", a, path)
 		}
 		r := o.Result
 		fmt.Printf("%-8s %10.3f %12.1f %12.1f %9.2gms %9d %10d %9s\n",
@@ -497,6 +542,7 @@ type cliFlags struct {
 	stats                  bool
 	pprofAddr              string
 	metricsAddr, matrixOut string
+	traceOut               string
 	worker, coordinator    string
 	workers                int
 	resultOut              string
@@ -535,7 +581,7 @@ func validateFlags(f cliFlags) error {
 		others := []bool{
 			f.coordinator != "", f.workers != 0, f.netfile != "", f.export != "",
 			f.topostats, f.record != "", f.replay != "", f.tracePath != "",
-			f.stats, f.metricsAddr != "", f.matrixOut != "", f.resultOut != "",
+			f.stats, f.metricsAddr != "", f.matrixOut != "", f.traceOut != "", f.resultOut != "",
 			f.faults, f.elastic, f.capacity != 0,
 			f.routing != "" && f.routing != "auto", f.routingRows != 0, f.routingClusters != 0,
 		}
@@ -602,6 +648,7 @@ func validateFlags(f cliFlags) error {
 			{"-pprof", f.pprofAddr != ""},
 			{"-metrics", f.metricsAddr != ""},
 			{"-matrix-out", f.matrixOut != ""},
+			{"-trace-out", f.traceOut != ""},
 		}
 		for _, rf := range runFlags {
 			if rf.set {

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/emu"
+	"repro/internal/faults"
 	"repro/internal/mapping"
 	"repro/internal/netgraph"
 	"repro/internal/obs"
@@ -106,6 +107,28 @@ type Scenario struct {
 	// RunAll serializes approaches when it is set (like Recorder) and the
 	// live view always shows the most recent emulation.
 	TelemetryCollector *telemetry.Collector
+	// Trace, when non-nil, collects the run's window timeline (per-engine
+	// compute spans, barrier-wait attribution) into an obs.Timeline — the
+	// source for Chrome trace_event export and straggler attribution. It
+	// applies to Run, RunDistributed and RunElastic main runs; PROFILE
+	// pre-runs and dynamic-remap segments are excluded so the timeline
+	// describes exactly one emulation.
+	Trace *obs.Timeline
+	// ClusterHealth, when non-nil, receives the coordinator's live
+	// cluster-health signal during RunDistributed/RunElastic — worker count,
+	// per-worker gated windows and critical-path share, the window-lag
+	// histogram, heartbeat RTTs. Mount it with telemetry.MountCluster.
+	// Attribution needs Trace set too; in-process runs leave it untouched.
+	ClusterHealth *telemetry.ClusterHealth
+	// Faults, when non-nil, is a straggler/degradation schedule applied to
+	// Run, RunDistributed, RunElastic and their replays — the cost model
+	// slows the scheduled engines, and the tracing/attribution plane (Trace,
+	// ClusterHealth) reports who gates the windows. Straggler and
+	// degradation schedules ship to distributed workers; crash schedules do
+	// not (use RunResilient, which takes its own schedule and ignores this
+	// field). RunDynamic segments rebase virtual time per interval and skip
+	// it.
+	Faults *faults.Schedule
 	// NetFlowRemap makes RunDynamic repartition intervals from the NetFlow
 	// side-channel dump (the paper's offline §3.3 pipeline) instead of the
 	// default measured-telemetry feedback. The two produce identical
@@ -451,6 +474,9 @@ func (sc *Scenario) emulate(ctx context.Context, assignment []int, profile bool)
 	if tel := sc.newTelemetry(); tel != nil {
 		opts = append(opts, emu.WithTelemetry(tel))
 	}
+	if sc.Trace != nil && !profile {
+		opts = append(opts, emu.WithTrace(sc.Trace))
+	}
 	return emu.Run(emu.Config{
 		Network:      sc.Network,
 		Routes:       routes,
@@ -463,5 +489,6 @@ func (sc *Scenario) emulate(ctx context.Context, assignment []int, profile bool)
 		Transport:    sc.Transport,
 		EngineSpeeds: sc.EngineSpeeds,
 		Sequential:   sc.Sequential,
+		Faults:       sc.Faults,
 	}, opts...)
 }

@@ -46,9 +46,12 @@ func (sc *Scenario) RunDistributed(ctx context.Context, a mapping.Approach, work
 			Transport:    sc.Transport,
 			EngineSpeeds: sc.EngineSpeeds,
 			Sequential:   sc.Sequential,
+			Faults:       sc.Faults,
 		},
 		Routing:   sc.routingOptions(),
 		Telemetry: sc.newTelemetry(),
+		Trace:     sc.Trace,
+		Health:    sc.ClusterHealth,
 		EmuOpts:   sc.runOptions(ctx),
 		OnWorkerLoss: func(f emu.EngineFailure) ([]int, error) {
 			var survivors []int

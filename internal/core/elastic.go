@@ -62,9 +62,12 @@ func (sc *Scenario) RunElastic(ctx context.Context, workers []dist.Conn, opt dis
 			Transport:    sc.Transport,
 			EngineSpeeds: sc.EngineSpeeds,
 			Sequential:   sc.Sequential,
+			Faults:       sc.Faults,
 		},
 		Routing:      sc.routingOptions(),
 		Telemetry:    sc.newTelemetry(),
+		Trace:        sc.Trace,
+		Health:       sc.ClusterHealth,
 		EmuOpts:      sc.runOptions(ctx),
 		OnWorkerLoss: sc.lossRemap(),
 	}
@@ -124,7 +127,14 @@ func (sc *Scenario) ReplayElastic(ctx context.Context, assignment []int, log *di
 		return nil, err
 	}
 	if len(log.Losses) > 0 {
-		cfg.Faults = &faults.Schedule{Crashes: append([]faults.Crash(nil), log.Losses...)}
+		// Keep the scenario's straggler/degradation schedule alongside the
+		// replayed fail-stops — it shapes the cost model the live run paid.
+		sched := &faults.Schedule{Crashes: append([]faults.Crash(nil), log.Losses...)}
+		if sc.Faults != nil {
+			sched.Stragglers = append(sched.Stragglers, sc.Faults.Stragglers...)
+			sched.Degradations = append(sched.Degradations, sc.Faults.Degradations...)
+		}
+		cfg.Faults = sched
 		cfg.OnCrash = sc.lossRemap()
 		cfg.CheckpointEvery = checkpointEvery
 	}
@@ -158,6 +168,7 @@ func (sc *Scenario) ElasticReplayConfig(assignment []int, log *dist.MembershipLo
 		Transport:    sc.Transport,
 		EngineSpeeds: sc.EngineSpeeds,
 		Sequential:   sc.Sequential,
+		Faults:       sc.Faults,
 	}
 	for _, r := range log.Resizes {
 		cfg.Elastic = append(cfg.Elastic, emu.Resize{At: r.At, Engines: r.Engines, Assignment: r.Assignment})

@@ -5,6 +5,7 @@ import (
 	"math"
 	"runtime"
 	"sort"
+	"time"
 )
 
 // Externally driven window execution — the kernel face of the distributed
@@ -49,6 +50,10 @@ type StepResult struct {
 	// Steppers globally and must SortSent (or the wire equivalent) before
 	// injecting.
 	Outbox []Sent
+	// Busy is the measured wall-clock seconds each local LP spent executing
+	// the window. Nil unless EnableTiming was called — the tracing hot path
+	// stays allocation- and syscall-free when tracing is off.
+	Busy []float64
 }
 
 // Stepper drives a subset of a kernel's LPs one window at a time. Create
@@ -65,6 +70,18 @@ type Stepper struct {
 	pre    []int64
 	done   chan struct{}
 	failed error
+	timing bool
+}
+
+// EnableTiming turns on per-LP wall-clock measurement of window execution:
+// after each Step, StepResult.Busy[lp] holds the seconds LP lp spent in
+// runWindow. Off by default; the disabled path takes no clock readings and
+// performs no extra allocations.
+func (st *Stepper) EnableTiming() {
+	if !st.timing {
+		st.timing = true
+		st.res.Busy = make([]float64, st.k.cfg.NumLPs)
+	}
 }
 
 // Stepper claims the given LPs of the kernel for external window-by-window
@@ -159,12 +176,24 @@ func (st *Stepper) Step(T, end float64) (*StepResult, error) {
 	if k.cfg.Sequential || len(st.local) == 1 ||
 		(runtime.GOMAXPROCS(0) == 1 && !k.cfg.ForceParallel) {
 		for _, lp := range st.local {
-			k.runWindow(lp, st.scheds[lp], end, st.stats)
+			if st.timing {
+				t0 := time.Now()
+				k.runWindow(lp, st.scheds[lp], end, st.stats)
+				st.res.Busy[lp] = time.Since(t0).Seconds()
+			} else {
+				k.runWindow(lp, st.scheds[lp], end, st.stats)
+			}
 		}
 	} else {
 		for _, lp := range st.local {
 			go func(lp int) {
-				k.runWindow(lp, st.scheds[lp], end, st.stats)
+				if st.timing {
+					t0 := time.Now()
+					k.runWindow(lp, st.scheds[lp], end, st.stats)
+					st.res.Busy[lp] = time.Since(t0).Seconds()
+				} else {
+					k.runWindow(lp, st.scheds[lp], end, st.stats)
+				}
 				st.done <- struct{}{}
 			}(lp)
 		}

@@ -11,13 +11,15 @@ import (
 	"repro/internal/emu"
 	"repro/internal/faults"
 	"repro/internal/netgraph"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 )
 
 // RunSpec is everything the coordinator needs to drive one distributed run.
 type RunSpec struct {
-	// Cfg is the scenario; it is normalized in place before shipping. Profile
-	// and Faults must be unset (checkDistConfig), and OnCrash must be nil —
+	// Cfg is the scenario; it is normalized in place before shipping.
+	// Straggler/degradation schedules in Cfg.Faults ship with the spec;
+	// crash schedules are rejected (EncodeSpec), and OnCrash must be nil —
 	// worker-loss recovery supplies its own remapper via OnWorkerLoss.
 	Cfg emu.Config
 	// Routing tells workers which route-oracle backend to rebuild.
@@ -29,6 +31,14 @@ type RunSpec struct {
 	// EmuOpts carries recorders/stats options for the coordinator's
 	// observation plane, as for emu.Run.
 	EmuOpts []emu.Option
+	// Trace, when non-nil, turns on distributed tracing: workers measure and
+	// ship wall-clock spans, and the coordinator merges them with its
+	// deterministic modeled spans into this timeline.
+	Trace *obs.Timeline
+	// Health, when non-nil, receives the live cluster health signal — worker
+	// count, per-worker gated windows and critical-path share, window lag,
+	// heartbeat RTTs — for the /metrics and /healthz mounts.
+	Health *telemetry.ClusterHealth
 	// OnWorkerLoss computes the recovery assignment when a worker is lost:
 	// the run degrades to the in-process crash-recovery path with the lost
 	// worker's engines fail-stopped, and this hook (typically the same
@@ -155,7 +165,8 @@ func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res 
 	W := len(workers)
 	n := cfg.NumEngines
 
-	blob, err := EncodeSpec(&Spec{Cfg: cfg, Routing: spec.Routing, Telemetry: spec.Telemetry != nil})
+	blob, err := EncodeSpec(&Spec{Cfg: cfg, Routing: spec.Routing,
+		Telemetry: spec.Telemetry != nil, Tracing: spec.Trace != nil})
 	if err != nil {
 		return nil, err
 	}
@@ -164,6 +175,9 @@ func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res 
 	opts := append([]emu.Option(nil), spec.EmuOpts...)
 	if spec.Telemetry != nil {
 		opts = append(opts, emu.WithTelemetry(spec.Telemetry))
+	}
+	if spec.Trace != nil {
+		opts = append(opts, emu.WithTrace(spec.Trace))
 	}
 	if ctx != nil {
 		opts = append(opts, emu.WithContext(ctx))
@@ -181,6 +195,30 @@ func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res 
 		w := e % W
 		engines[w] = append(engines[w], e)
 		ownerOf[e] = w
+	}
+	tl := merge.Trace()
+	if tl != nil {
+		for w := range engines {
+			tl.Assign(engines[w], w)
+		}
+	}
+	merge.NoteClusterSize(n)
+	if spec.Health != nil {
+		spec.Health.SetWorkers(W)
+	}
+	// In-run receives absorb worker SPANS frames into the timeline; the
+	// worker slot stamps here (it is implied by the connection on the wire).
+	hooks := recvHooks{}
+	if tl != nil {
+		hooks.onSpans = func(w int, spans []obs.Span) {
+			for i := range spans {
+				spans[i].Worker = w
+			}
+			tl.AddWall(spans)
+		}
+	}
+	recv := func(conn Conn, w int) (Frame, error) {
+		return recvHooked(conn, w, opt.StepTimeout, nil, hooks)
 	}
 
 	// Handshake every worker.
@@ -261,7 +299,7 @@ func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res 
 		}
 		minT, has := 0.0, false
 		for w, conn := range workers {
-			f, err := recvFrom(conn, w, opt.StepTimeout)
+			f, err := recv(conn, w)
 			if err != nil {
 				return nil, err
 			}
@@ -300,7 +338,7 @@ func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res 
 		}
 		outbox = outbox[:0]
 		for w, conn := range workers {
-			f, err := recvFrom(conn, w, opt.StepTimeout)
+			f, err := recv(conn, w)
 			if err != nil {
 				return nil, err
 			}
@@ -318,6 +356,12 @@ func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res 
 		if err := merge.CommitWindow(T, end, reports); err != nil {
 			return nil, err
 		}
+		if spec.Health != nil && tl != nil {
+			for _, ws := range tl.DrainWindowStats() {
+				spec.Health.ObserveWindow(ws.Worker, ws.Lag)
+			}
+			spec.Health.SetAttribution(tl.Health())
+		}
 		virtT = T
 		if end >= nextCkpt {
 			for w, conn := range workers {
@@ -326,7 +370,7 @@ func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res 
 				}
 			}
 			for w, conn := range workers {
-				f, err := recvFrom(conn, w, opt.StepTimeout)
+				f, err := recv(conn, w)
 				if err != nil {
 					return nil, err
 				}
@@ -349,7 +393,7 @@ func run(ctx context.Context, spec *RunSpec, workers []Conn, opt *Options) (res 
 		}
 	}
 	for w, conn := range workers {
-		f, err := recvFrom(conn, w, opt.StepTimeout)
+		f, err := recv(conn, w)
 		if err != nil {
 			return nil, err
 		}
@@ -383,6 +427,13 @@ func fallback(spec *RunSpec, lost *workerLost, W int, opt *Options) (*emu.Result
 		at = math.SmallestNonzeroFloat64
 	}
 	sched := &faults.Schedule{}
+	if cfg.Faults != nil {
+		// Keep any straggler/degradation schedule the run was started with —
+		// it is part of the scenario's cost model, and dropping it would make
+		// the replay diverge from a loss-free run.
+		sched.Stragglers = append(sched.Stragglers, cfg.Faults.Stragglers...)
+		sched.Degradations = append(sched.Degradations, cfg.Faults.Degradations...)
+	}
 	for e := lost.worker; e < cfg.NumEngines; e += W {
 		sched.Crashes = append(sched.Crashes, faults.Crash{Engine: e, At: at})
 	}
@@ -392,6 +443,12 @@ func fallback(spec *RunSpec, lost *workerLost, W int, opt *Options) (*emu.Result
 	opts := append([]emu.Option(nil), spec.EmuOpts...)
 	if spec.Telemetry != nil {
 		opts = append(opts, emu.WithTelemetry(spec.Telemetry))
+	}
+	if spec.Trace != nil {
+		// The replay re-executes every window from zero in-process; the
+		// partial distributed timeline would double-count them.
+		spec.Trace.Reset()
+		opts = append(opts, emu.WithTrace(spec.Trace))
 	}
 	return emu.Run(cfg, opts...)
 }
@@ -429,8 +486,23 @@ type heartbeat struct {
 }
 
 func recvFromHB(conn Conn, w int, timeout time.Duration, hb *heartbeat, onDrain func(int)) (Frame, error) {
+	return recvHooked(conn, w, timeout, hb, recvHooks{onDrain: onDrain})
+}
+
+// recvHooks routes the out-of-band frames a coordinator wait may absorb:
+// drain requests, worker trace spans, and measured PING→PONG round trips.
+// Nil hooks drop the corresponding signal (spans still decode, so protocol
+// corruption surfaces even when tracing output is unused).
+type recvHooks struct {
+	onDrain func(w int)
+	onSpans func(w int, spans []obs.Span)
+	onRTT   func(w int, rtt time.Duration)
+}
+
+func recvHooked(conn Conn, w int, timeout time.Duration, hb *heartbeat, hooks recvHooks) (Frame, error) {
 	deadline := time.Now().Add(timeout)
 	missed := 0
+	var lastPing time.Time
 	for {
 		slice := time.Until(deadline)
 		if slice <= 0 {
@@ -450,6 +522,7 @@ func recvFromHB(conn Conn, w int, timeout time.Duration, hb *heartbeat, onDrain 
 					return Frame{}, &workerLost{worker: w,
 						err: fmt.Errorf("no heartbeat in %d×%v", missed, hb.interval)}
 				}
+				lastPing = time.Now()
 				if err := conn.Send(Frame{Type: MsgPing}); err != nil {
 					return Frame{}, &workerLost{worker: w, err: err}
 				}
@@ -460,11 +533,27 @@ func recvFromHB(conn Conn, w int, timeout time.Duration, hb *heartbeat, onDrain 
 		switch f.Type {
 		case MsgPong:
 			missed = 0
+			// A pong not answering our ping (a reordered or duplicated frame
+			// under chaos transports) carries no timing signal.
+			if hooks.onRTT != nil && !lastPing.IsZero() {
+				hooks.onRTT(w, time.Since(lastPing))
+				lastPing = time.Time{}
+			}
+			continue
+		case MsgSpans:
+			missed = 0
+			spans, err := DecodeSpans(f.Payload)
+			if err != nil {
+				return Frame{}, &workerLost{worker: w, err: err}
+			}
+			if hooks.onSpans != nil {
+				hooks.onSpans(w, spans)
+			}
 			continue
 		case MsgDrain:
 			missed = 0
-			if onDrain != nil {
-				onDrain(w)
+			if hooks.onDrain != nil {
+				hooks.onDrain(w)
 			}
 			continue
 		case MsgError:

@@ -10,6 +10,7 @@ import (
 	"repro/internal/des"
 	"repro/internal/emu"
 	"repro/internal/faults"
+	"repro/internal/obs"
 )
 
 // Elastic membership: the coordinator admits workers joining a running
@@ -69,6 +70,7 @@ type elasticState struct {
 	q        int
 	maxSlots int
 	log      *MembershipLog
+	merge    *emu.DistMerge
 
 	members []*emember // active, in admission order
 	pending []*emember // handshaken joiners awaiting the next barrier
@@ -147,6 +149,16 @@ func RunElastic(ctx context.Context, spec *RunSpec, workers []Conn, opt ElasticO
 	if spec.OnWorkerLoss == nil {
 		return nil, nil, fmt.Errorf("%w (no OnWorkerLoss recovery configured)", lost)
 	}
+	if s.merge != nil {
+		// The kill reaches external recorders before the replay starts; the
+		// replay's own emulation never sees the silent worker.
+		misses := 1.0
+		if opt.HeartbeatInterval > 0 {
+			misses = float64(opt.HeartbeatMisses)
+		}
+		s.merge.RecordEvent(obs.Event{Kind: obs.EventHeartbeatMiss, Time: lost.at,
+			LP: lost.worker * s.q, Value: misses})
+	}
 	opt.logf("dist: %v; degrading to in-process recovery replay", lost)
 	res, err = s.fallback(lost)
 	if err != nil {
@@ -179,7 +191,8 @@ func (s *elasticState) run(ctx context.Context, initial []Conn) (res *emu.Result
 	}()
 	cfg := s.spec.Cfg // normalized by RunElastic
 
-	blob, err := EncodeSpec(&Spec{Cfg: cfg, Routing: s.spec.Routing, Telemetry: s.spec.Telemetry != nil})
+	blob, err := EncodeSpec(&Spec{Cfg: cfg, Routing: s.spec.Routing,
+		Telemetry: s.spec.Telemetry != nil, Tracing: s.spec.Trace != nil})
 	if err != nil {
 		return nil, err
 	}
@@ -189,6 +202,9 @@ func (s *elasticState) run(ctx context.Context, initial []Conn) (res *emu.Result
 	if s.spec.Telemetry != nil {
 		opts = append(opts, emu.WithTelemetry(s.spec.Telemetry))
 	}
+	if s.spec.Trace != nil {
+		opts = append(opts, emu.WithTrace(s.spec.Trace))
+	}
 	if ctx != nil {
 		opts = append(opts, emu.WithContext(ctx))
 	}
@@ -196,6 +212,7 @@ func (s *elasticState) run(ctx context.Context, initial []Conn) (res *emu.Result
 	if err != nil {
 		return nil, err
 	}
+	s.merge = merge
 	// Only the initial workers' engine blocks are live; the rest of the
 	// capacity activates as joiners install.
 	var liveEngines []int
@@ -205,6 +222,18 @@ func (s *elasticState) run(ctx context.Context, initial []Conn) (res *emu.Result
 	merge.Activate(liveEngines)
 	start := time.Now()
 	initialL := merge.Lookahead()
+
+	// Slot → engine-block ownership is fixed for the whole run, so the
+	// timeline's worker map can cover every slot up front — joiners included.
+	tl := merge.Trace()
+	if tl != nil {
+		for slot := 0; slot < s.maxSlots; slot++ {
+			tl.Assign(s.block(slot), slot)
+		}
+	}
+	if s.spec.Health != nil {
+		s.spec.Health.SetWorkers(len(initial))
+	}
 
 	var hb *heartbeat
 	if opt.HeartbeatInterval > 0 {
@@ -231,8 +260,22 @@ func (s *elasticState) run(ctx context.Context, initial []Conn) (res *emu.Result
 			opt.logf("dist: worker slot %d requested drain", m.slot)
 		}
 	}
+	// Every coordinator wait may absorb drain requests, worker trace spans
+	// (stamped with the sender's slot) and heartbeat round trips.
+	hooks := recvHooks{onDrain: onDrain}
+	if tl != nil {
+		hooks.onSpans = func(w int, spans []obs.Span) {
+			for i := range spans {
+				spans[i].Worker = w
+			}
+			tl.AddWall(spans)
+		}
+	}
+	if health := s.spec.Health; health != nil {
+		hooks.onRTT = func(w int, rtt time.Duration) { health.ObserveRTT(w, rtt) }
+	}
 	recv := func(m *emember, timeout time.Duration) (Frame, error) {
-		return recvFromHB(m.conn, m.slot, timeout, hb, onDrain)
+		return recvHooked(m.conn, m.slot, timeout, hb, hooks)
 	}
 
 	// handshake admits one worker onto a slot. Every worker — initial or
@@ -434,6 +477,12 @@ func (s *elasticState) run(ctx context.Context, initial []Conn) (res *emu.Result
 		if err := merge.CommitWindow(T, end, reports); err != nil {
 			return nil, err
 		}
+		if s.spec.Health != nil && tl != nil {
+			for _, ws := range tl.DrainWindowStats() {
+				s.spec.Health.ObserveWindow(ws.Worker, ws.Lag)
+			}
+			s.spec.Health.SetAttribution(tl.Health())
+		}
 		virtT = T
 
 		if end >= nextCkpt {
@@ -620,6 +669,18 @@ func (s *elasticState) resizeBarrier(merge *emu.DistMerge, end float64,
 		s.bySlot[m.slot] = nil
 	}
 
+	// Churn accounting: each joiner and leaver is recorded against the first
+	// engine of its block, mirroring the in-process elastic event stream.
+	for _, m := range s.pending {
+		merge.RecordEvent(obs.Event{Kind: obs.EventJoin, Time: end, LP: m.engines[0], Value: 1})
+	}
+	for _, m := range leaving {
+		merge.RecordEvent(obs.Event{Kind: obs.EventDrain, Time: end, LP: m.engines[0], Value: 1})
+	}
+	if s.spec.Health != nil {
+		s.spec.Health.SetWorkers(len(continuing))
+	}
+
 	s.members = continuing
 	s.pending = nil
 	s.lastResizeAt = end
@@ -645,6 +706,12 @@ func (s *elasticState) fallback(lost *workerLost) (*emu.Result, error) {
 		at = math.SmallestNonzeroFloat64
 	}
 	sched := &faults.Schedule{}
+	if cfg.Faults != nil {
+		// Straggler/degradation schedules are part of the scenario's cost
+		// model; the replay must keep them or diverge from a loss-free run.
+		sched.Stragglers = append(sched.Stragglers, cfg.Faults.Stragglers...)
+		sched.Degradations = append(sched.Degradations, cfg.Faults.Degradations...)
+	}
 	for _, e := range s.block(lost.worker) {
 		sched.Crashes = append(sched.Crashes, faults.Crash{Engine: e, At: at})
 	}
@@ -661,6 +728,12 @@ func (s *elasticState) fallback(lost *workerLost) (*emu.Result, error) {
 	opts := append([]emu.Option(nil), s.spec.EmuOpts...)
 	if s.spec.Telemetry != nil {
 		opts = append(opts, emu.WithTelemetry(s.spec.Telemetry))
+	}
+	if s.spec.Trace != nil {
+		// The replay re-executes every window from zero in-process; the
+		// partial distributed timeline would double-count them.
+		s.spec.Trace.Reset()
+		opts = append(opts, emu.WithTrace(s.spec.Trace))
 	}
 	return emu.Run(cfg, opts...)
 }

@@ -98,3 +98,45 @@ func TestHeartbeatPongKeepsSlowWorkerAlive(t *testing.T) {
 		t.Fatalf("wait gave up after %v, before the 500ms response deadline", elapsed)
 	}
 }
+
+// TestHeartbeatRTTHook: a PONG answering our PING delivers a round-trip
+// measurement to the onRTT hook — the feed for the per-worker heartbeat RTT
+// gauge — and the wait keeps running.
+func TestHeartbeatRTTHook(t *testing.T) {
+	c, s := Loopback()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for {
+			f, err := s.Recv(5 * time.Second)
+			if err != nil {
+				return
+			}
+			if f.Type == MsgPing {
+				s.Send(Frame{Type: MsgPong})
+			}
+		}
+	}()
+	var rtts []time.Duration
+	hooks := recvHooks{onRTT: func(w int, rtt time.Duration) {
+		if w != 7 {
+			t.Errorf("rtt reported for worker %d, want 7", w)
+		}
+		rtts = append(rtts, rtt)
+	}}
+	_, err := recvHooked(c, 7, 400*time.Millisecond,
+		&heartbeat{interval: 50 * time.Millisecond, misses: 100}, hooks)
+	c.Close()
+	<-done
+	if err == nil {
+		t.Fatal("no frame ever arrived; the wait must eventually fail")
+	}
+	if len(rtts) == 0 {
+		t.Fatal("PONGs answered PINGs but no RTT reached the hook")
+	}
+	for _, r := range rtts {
+		if r <= 0 || r > time.Second {
+			t.Errorf("implausible heartbeat rtt %v", r)
+		}
+	}
+}

@@ -32,8 +32,9 @@ import (
 )
 
 // Version is the protocol version; HELLO/ASSIGN carry it and any mismatch
-// aborts the handshake.
-const Version = 2
+// aborts the handshake. v3 added the SPANS frame, the spec's Tracing flag
+// and the straggler/degradation schedule fields.
+const Version = 3
 
 // MaxFrame bounds a frame's payload (type byte included). It is sized for
 // the largest legitimate message — a full telemetry slow-state partial on a
@@ -90,6 +91,10 @@ const (
 	// MsgInstallAck confirms with the worker's derived lookahead.
 	MsgInstall
 	MsgInstallAck
+	// MsgSpans ships a worker's buffered wall-clock trace spans. Sent only
+	// when tracing is on, immediately before the WINDOW_DONE or
+	// CHECKPOINT_ACK it annotates; the coordinator absorbs it anywhere.
+	MsgSpans
 )
 
 func (t MsgType) String() string {
@@ -134,6 +139,8 @@ func (t MsgType) String() string {
 		return "INSTALL"
 	case MsgInstallAck:
 		return "INSTALL_ACK"
+	case MsgSpans:
+		return "SPANS"
 	}
 	return fmt.Sprintf("MsgType(%d)", uint8(t))
 }

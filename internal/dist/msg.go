@@ -5,8 +5,10 @@ import (
 	"fmt"
 
 	"repro/internal/emu"
+	"repro/internal/faults"
 	"repro/internal/metrics"
 	"repro/internal/netgraph"
+	"repro/internal/obs"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
@@ -363,6 +365,42 @@ func EncodeState(s *emu.DistState) []byte {
 	return e.buf
 }
 
+// EncodeSpans/DecodeSpans carry MsgSpans payloads: a worker's buffered
+// wall-clock trace spans. Busy never ships (the coordinator derives modeled
+// busy from the merged counters itself) and Worker is implied by the sending
+// connection; Window is the worker's local window count, which the
+// coordinator ignores in favor of its own commit order.
+func EncodeSpans(spans []obs.Span) []byte {
+	var e encoder
+	e.u32(uint32(len(spans)))
+	for _, s := range spans {
+		e.u8(uint8(s.Kind))
+		e.i64(int64(s.Engine))
+		e.i64(s.Window)
+		e.f64(s.Start)
+		e.f64(s.End)
+		e.f64(s.Wall)
+	}
+	return e.buf
+}
+
+func DecodeSpans(b []byte) ([]obs.Span, error) {
+	d := decoder{buf: b}
+	n := d.count(41, "spans")
+	out := make([]obs.Span, 0, n)
+	for i := 0; i < n && d.err == nil; i++ {
+		out = append(out, obs.Span{
+			Kind:   obs.SpanKind(d.u8("span.kind")),
+			Engine: int(d.i64("span.engine")),
+			Window: d.i64("span.window"),
+			Start:  d.f64("span.start"),
+			End:    d.f64("span.end"),
+			Wall:   d.f64("span.wall"),
+		})
+	}
+	return out, d.finish()
+}
+
 func DecodeState(b []byte) (*emu.DistState, error) {
 	d := decoder{buf: b}
 	s := &emu.DistState{
@@ -383,7 +421,9 @@ func DecodeState(b []byte) (*emu.DistState, error) {
 // Spec is the self-contained scenario a worker rebuilds the emulation from:
 // topology, workload, assignment and every numeric knob of the run, plus the
 // routing mode and whether telemetry is collected. Functions (OnCrash) and
-// fault schedules never ship — checkDistConfig rejects them.
+// crash schedules never ship — EncodeSpec rejects them; straggler and
+// degradation schedules do ship (they parameterize the coordinator's cost
+// model, and the worker needs them only to round-trip the spec hash).
 type Spec struct {
 	Cfg emu.Config
 	// Routing selects the route-oracle backend the worker rebuilds. The raw
@@ -394,6 +434,9 @@ type Spec struct {
 	// Telemetry tells the worker to run a collector so its share of the
 	// traffic plane can be merged at each barrier.
 	Telemetry bool
+	// Tracing tells the worker to measure wall-clock spans (window compute,
+	// wire, checkpoint, migrate) and ship them in SPANS frames.
+	Tracing bool
 }
 
 // EncodeSpec canonically encodes a normalized config (emu.NormalizeConfig
@@ -404,8 +447,8 @@ func EncodeSpec(s *Spec) ([]byte, error) {
 	if cfg.Network == nil {
 		return nil, fmt.Errorf("dist: spec needs a network")
 	}
-	if cfg.Faults != nil || cfg.OnCrash != nil {
-		return nil, fmt.Errorf("dist: fault schedules and crash hooks do not ship")
+	if cfg.Faults.HasCrashes() || cfg.OnCrash != nil {
+		return nil, fmt.Errorf("dist: crash schedules and crash hooks do not ship")
 	}
 	var e encoder
 	e.u32(Version)
@@ -457,6 +500,29 @@ func EncodeSpec(s *Spec) ([]byte, error) {
 	e.i64(int64(s.Routing.LazyRows))
 	e.i64(int64(s.Routing.Clusters))
 	e.boolean(s.Telemetry)
+	e.boolean(s.Tracing)
+	// Straggler/degradation schedule (crash-free, checked above). Workers
+	// never apply it — the cost model runs on the coordinator — but it must
+	// round-trip so the spec hash covers the whole scenario.
+	var stragglers []faults.Straggler
+	var degradations []faults.Degradation
+	if cfg.Faults != nil {
+		stragglers = cfg.Faults.Stragglers
+		degradations = cfg.Faults.Degradations
+	}
+	e.u32(uint32(len(stragglers)))
+	for _, st := range stragglers {
+		e.i64(int64(st.Engine))
+		e.f64(st.From)
+		e.f64(st.To)
+		e.f64(st.Factor)
+	}
+	e.u32(uint32(len(degradations)))
+	for _, dg := range degradations {
+		e.f64(dg.From)
+		e.f64(dg.To)
+		e.f64(dg.Factor)
+	}
 	return e.buf, nil
 }
 
@@ -539,6 +605,29 @@ func DecodeSpec(b []byte) (*Spec, error) {
 	s.Routing.LazyRows = int(d.i64("spec.routing.lazyRows"))
 	s.Routing.Clusters = int(d.i64("spec.routing.clusters"))
 	s.Telemetry = d.boolean("spec.telemetry")
+	s.Tracing = d.boolean("spec.tracing")
+	nst := d.count(32, "spec.stragglers")
+	var stragglers []faults.Straggler
+	for i := 0; i < nst && d.err == nil; i++ {
+		stragglers = append(stragglers, faults.Straggler{
+			Engine: int(d.i64("spec.straggler.engine")),
+			From:   d.f64("spec.straggler.from"),
+			To:     d.f64("spec.straggler.to"),
+			Factor: d.f64("spec.straggler.factor"),
+		})
+	}
+	ndg := d.count(24, "spec.degradations")
+	var degradations []faults.Degradation
+	for i := 0; i < ndg && d.err == nil; i++ {
+		degradations = append(degradations, faults.Degradation{
+			From:   d.f64("spec.degradation.from"),
+			To:     d.f64("spec.degradation.to"),
+			Factor: d.f64("spec.degradation.factor"),
+		})
+	}
+	if len(stragglers) > 0 || len(degradations) > 0 {
+		cfg.Faults = &faults.Schedule{Stragglers: stragglers, Degradations: degradations}
+	}
 	if err := d.finish(); err != nil {
 		return nil, err
 	}

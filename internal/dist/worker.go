@@ -9,6 +9,7 @@ import (
 	"repro/internal/telemetry"
 
 	"repro/internal/emu"
+	"repro/internal/obs"
 )
 
 // WorkerOptions tunes the worker side of the protocol.
@@ -106,6 +107,27 @@ func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
 	if err != nil {
 		return err
 	}
+	// Tracing state: buffered wall-clock spans ship in a SPANS frame
+	// immediately before the WINDOW_DONE or CHECKPOINT_ACK they annotate, so
+	// the coordinator folds them into the matching window commit. lastT/
+	// lastEnd anchor worker-level spans (wire, checkpoint, migrate) to the
+	// most recent window's virtual bounds; windows is the local window count.
+	var (
+		spanBuf        []obs.Span
+		windows        int64
+		lastT, lastEnd float64
+	)
+	if spec.Tracing {
+		local.EnableTiming()
+	}
+	sendSpans := func() error {
+		if !spec.Tracing || len(spanBuf) == 0 {
+			return nil
+		}
+		err := conn.Send(Frame{Type: MsgSpans, Payload: EncodeSpans(spanBuf)})
+		spanBuf = spanBuf[:0]
+		return err
+	}
 	opt.logf("dist: worker %d/%d ready, engines %v, lookahead %g",
 		as.WorkerID, as.Workers, as.Engines, local.Lookahead())
 	if err := conn.Send(Frame{Type: MsgReady, Payload: Ready{Hash: hash, Lookahead: local.Lookahead()}.Encode()}); err != nil {
@@ -119,12 +141,19 @@ func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
 		}
 		switch f.Type {
 		case MsgEvents:
+			t0 := time.Now()
 			evs, err := DecodeEvents(f.Payload)
 			if err != nil {
 				return err
 			}
 			if err := local.Inject(evs); err != nil {
 				return err
+			}
+			if spec.Tracing && len(evs) > 0 {
+				spanBuf = append(spanBuf, obs.Span{
+					Kind: obs.SpanWireRecv, Engine: -1, Window: windows,
+					Start: lastT, End: lastEnd, Wall: time.Since(t0).Seconds(),
+				})
 			}
 			t, has := local.Vote()
 			if err := conn.Send(Frame{Type: MsgVote, Payload: Vote{Has: has, Time: t}.Encode()}); err != nil {
@@ -139,15 +168,46 @@ func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
 			if err != nil {
 				return err
 			}
+			if spec.Tracing {
+				lastT, lastEnd = w.Start, w.End
+				pre := len(spanBuf)
+				spanBuf = local.AppendComputeSpans(spanBuf, w.Start, w.End)
+				for i := pre; i < len(spanBuf); i++ {
+					spanBuf[i].Window = windows
+				}
+				if err := sendSpans(); err != nil {
+					return err
+				}
+			}
+			t0 := time.Now()
 			if err := conn.Send(Frame{Type: MsgWindowDone, Payload: EncodeWindowDone(rep)}); err != nil {
 				return err
+			}
+			if spec.Tracing {
+				// The send wall time ships with the NEXT batch — it cannot
+				// precede the frame it measures.
+				spanBuf = append(spanBuf, obs.Span{
+					Kind: obs.SpanWireSend, Engine: -1, Window: windows,
+					Start: w.Start, End: w.End, Wall: time.Since(t0).Seconds(),
+				})
+				windows++
 			}
 		case MsgCheckpoint:
 			cp, err := DecodeCheckpoint(f.Payload)
 			if err != nil {
 				return err
 			}
+			t0 := time.Now()
 			n := local.Checkpoint(cp.At)
+			if spec.Tracing {
+				spanBuf = append(spanBuf, obs.Span{
+					Kind: obs.SpanCheckpoint, Engine: -1, Window: windows,
+					Start: lastT, End: lastEnd, Wall: time.Since(t0).Seconds(),
+				})
+				if err := sendSpans(); err != nil {
+					return err
+				}
+			}
 			if err := conn.Send(Frame{Type: MsgCheckpointAck, Payload: CheckpointAck{Count: int64(n)}.Encode()}); err != nil {
 				return err
 			}
@@ -168,8 +228,16 @@ func serve(ctx context.Context, conn Conn, opt *WorkerOptions) error {
 			if err != nil {
 				return err
 			}
+			t0 := time.Now()
 			if err := local.Reseat(in); err != nil {
 				return err
+			}
+			if spec.Tracing {
+				// Ships with the next window's SPANS batch.
+				spanBuf = append(spanBuf, obs.Span{
+					Kind: obs.SpanMigrate, Engine: -1, Window: windows,
+					Start: in.At, End: in.At, Wall: time.Since(t0).Seconds(),
+				})
 			}
 			opt.logf("dist: worker %d reseated onto engines %v at t=%g", as.WorkerID, in.Engines, in.At)
 			if err := conn.Send(Frame{Type: MsgInstallAck, Payload: InstallAck{Lookahead: in.Lookahead}.Encode()}); err != nil {

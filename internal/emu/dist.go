@@ -123,14 +123,17 @@ func SortWire(evs []WireEvent) {
 func NormalizeConfig(cfg *Config) error { return validate(cfg) }
 
 // checkDistConfig rejects features that do not distribute: PROFILE pre-runs
-// happen in-process on the coordinator before the assignment ships, and fault
+// happen in-process on the coordinator before the assignment ships, and crash
 // schedules are owned by the in-process fallback path (worker loss).
+// Straggler and degradation schedules DO distribute: they only scale the
+// coordinator's cost model in observe, never worker execution, so the result
+// path is unaffected by where engines physically run.
 func checkDistConfig(cfg *Config) error {
 	if cfg.Profile {
 		return fmt.Errorf("%w: NetFlow profiling does not run distributed (run the PROFILE pre-run in-process)", ErrBadConfig)
 	}
-	if cfg.Faults != nil {
-		return fmt.Errorf("%w: fault schedules do not run distributed (injected faults are an in-process feature)", ErrBadConfig)
+	if cfg.Faults.HasCrashes() || cfg.OnCrash != nil {
+		return fmt.Errorf("%w: crash schedules do not run distributed (injected crashes are an in-process feature)", ErrBadConfig)
 	}
 	if len(cfg.Elastic) > 0 || cfg.OnResize != nil {
 		return fmt.Errorf("%w: elastic schedules do not ship (the distributed coordinator drives membership changes itself)", ErrBadConfig)
@@ -187,6 +190,9 @@ type DistLocal struct {
 	// push into the stepper.
 	rep       WindowReport
 	injectBuf []des.Sent
+	// busy aliases the stepper's per-LP wall timing for the last window; nil
+	// unless EnableTiming was called.
+	busy []float64
 }
 
 // NewDistLocal builds the worker-side engine runtime for the given local
@@ -228,6 +234,31 @@ func NewDistLocal(cfg Config, engines []int, tel *telemetry.Collector) (*DistLoc
 // the coordinator cross-checks it against its own during the handshake.
 func (d *DistLocal) Lookahead() float64 { return d.e.lookahead }
 
+// EnableTiming turns on per-engine wall-clock window timing so
+// AppendComputeSpans can report measured compute spans. Off by default —
+// untraced workers take no clock readings.
+func (d *DistLocal) EnableTiming() { d.stepper.EnableTiming() }
+
+// AppendComputeSpans appends one wall-clock compute span per local engine
+// active in the window just stepped (same activity rule as the coordinator's
+// modeled spans: nonzero charges or remote sends). The coordinator overlays
+// these measured durations onto its deterministic modeled spans; they never
+// influence the result path.
+func (d *DistLocal) AppendComputeSpans(dst []obs.Span, T, end float64) []obs.Span {
+	if d.busy == nil {
+		return dst
+	}
+	for _, eng := range d.engines {
+		if d.rep.Charges[eng] == 0 && d.rep.Remote[eng] == 0 {
+			continue
+		}
+		dst = append(dst, obs.Span{
+			Kind: obs.SpanCompute, Engine: eng, Start: T, End: end, Wall: d.busy[eng],
+		})
+	}
+	return dst
+}
+
 // Vote returns the earliest pending local event time (the barrier vote).
 func (d *DistLocal) Vote() (float64, bool) { return d.stepper.NextEventTime() }
 
@@ -256,6 +287,7 @@ func (d *DistLocal) Step(T, end float64) (*WindowReport, error) {
 	if err != nil {
 		return nil, err
 	}
+	d.busy = res.Busy
 	r := &d.rep
 	r.Events = append(r.Events[:0], res.Events...)
 	r.Charges = append(r.Charges[:0], res.Charges...)
@@ -364,6 +396,25 @@ func NewDistMerge(cfg Config, opts ...Option) (*DistMerge, error) {
 
 // Lookahead returns the synchronization window width.
 func (m *DistMerge) Lookahead() float64 { return m.e.lookahead }
+
+// Trace returns the run's tracing timeline, nil when tracing is off — the
+// transport layer uses it to map engines onto worker slots and to merge
+// worker-measured wall spans.
+func (m *DistMerge) Trace() *obs.Timeline { return m.e.trace }
+
+// RecordEvent forwards a lifecycle event to the run's recorder chain. The
+// transport layer reports live membership churn (worker joins, drains,
+// heartbeat losses) through it; all fields must be virtual-time quantities
+// so recorded traces stay deterministic.
+func (m *DistMerge) RecordEvent(ev obs.Event) { m.e.recordEvent(ev) }
+
+// NoteClusterSize records an active engine-set size with the run's stats
+// collector (peak-cluster accounting across elastic resizes).
+func (m *DistMerge) NoteClusterSize(n int) {
+	if m.e.runStats != nil {
+		m.e.runStats.NoteClusterSize(n)
+	}
+}
 
 // EndTime returns the configured truncation time (0 = none).
 func (m *DistMerge) EndTime() float64 { return m.e.cfg.EndTime }

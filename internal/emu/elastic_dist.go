@@ -236,11 +236,16 @@ func (m *DistMerge) Activate(engines []int) {
 	for i := range m.active {
 		m.active[i] = false
 	}
+	live := 0
 	for _, eng := range engines {
 		if eng >= 0 && eng < len(m.active) {
 			m.active[eng] = true
+			live++
 		}
 	}
+	// Peak-cluster accounting starts from the initial live membership;
+	// resizes raise it through EventResize.
+	m.NoteClusterSize(live)
 }
 
 // AppliedResizes returns the membership changes applied so far.

@@ -515,6 +515,7 @@ func prepare(cfg *Config, o *runOptions) (*emulation, error) {
 		bucketCost:      bucketCost,
 		bucketSync:      make([]float64, buckets),
 		bucketBusyWidth: make([]float64, buckets),
+		trace:           o.trace,
 	}
 	return e, nil
 }
@@ -771,6 +772,12 @@ type emulation struct {
 	bucketSync      []float64
 	bucketBusyWidth []float64
 
+	// trace is the cluster tracing timeline; nil when tracing is off (the
+	// observer then takes a single nil check and allocates nothing). spanBuf
+	// is its per-window scratch, reused across windows.
+	trace   *obs.Timeline
+	spanBuf []obs.Span
+
 	// barrier is the fault-injection hook target, installed by runResilient
 	// when the schedule contains crashes.
 	barrier func(ws, we float64) error
@@ -829,6 +836,49 @@ func (e *emulation) observe(start, end float64, charges, remote []int64) {
 	// Engines are quiesced at the barrier, so the telemetry collector can
 	// fold the window and republish its live snapshot here.
 	e.tel.Commit(start, end, charges)
+	if e.trace != nil {
+		e.traceWindow(start, end, charges, remote)
+	}
+}
+
+// traceWindow commits one window's compute spans to the tracing timeline.
+// Busy is the same modeled cost observe just accumulated — recomputed here,
+// on the tracing-only branch, so the traced and untraced hot paths stay
+// byte-identical. Spans derive purely from merged counters and the cost
+// model, so the timeline's virtual fields are deterministic across
+// in-process, loopback and TCP executions. The gating worker of each window
+// also feeds the RunStats straggler attribution, bypassing the Recorder
+// stream so recorded trace artifacts are unchanged by tracing.
+func (e *emulation) traceWindow(start, end float64, charges, remote []int64) {
+	if e.spanBuf == nil {
+		// First traced window: size the span buffer for the engine count and
+		// skip the timeline's early append doublings. Idle-skip makes the true
+		// window count unpredictable, so this is a floor, not an estimate.
+		e.spanBuf = make([]obs.Span, 0, e.cfg.NumEngines)
+		e.trace.Reserve(64 * (e.cfg.NumEngines + 1))
+	}
+	spans := e.spanBuf[:0]
+	for lp := 0; lp < e.cfg.NumEngines; lp++ {
+		if charges[lp] == 0 && remote[lp] == 0 {
+			continue
+		}
+		var c float64
+		if e.cfg.Faults == nil && e.speeds == nil {
+			c = float64(charges[lp])*e.cost.PerEvent + float64(remote[lp])*e.cost.PerRemote
+		} else {
+			evCost := float64(charges[lp]) * e.cost.PerEvent * e.cfg.Faults.SlowdownAt(lp, start)
+			rmCost := float64(remote[lp]) * e.cost.PerRemote * e.cfg.Faults.RemoteFactorAt(start)
+			c = (evCost + rmCost) / e.speedOf(lp)
+		}
+		spans = append(spans, obs.Span{
+			Kind: obs.SpanCompute, Engine: lp, Start: start, End: end, Busy: c,
+		})
+	}
+	e.spanBuf = spans
+	st := e.trace.CommitWindow(start, end, spans)
+	if e.runStats != nil && st.Worker >= 0 {
+		e.runStats.RecordGated(st.Worker, st.Busy, st.Lag)
+	}
 }
 
 // handle processes one DES event on engine lp.

@@ -20,6 +20,7 @@ type runOptions struct {
 	cost      *CostModel
 	tel       *telemetry.Collector
 	routes    netgraph.Routing
+	trace     *obs.Timeline
 }
 
 func (o *runOptions) apply(opts []Option) {
@@ -75,6 +76,16 @@ func WithCostModel(c CostModel) Option {
 // ignored — the hot path then stays on its zero-allocation disabled branch.
 func WithTelemetry(c *telemetry.Collector) Option {
 	return func(o *runOptions) { o.tel = c }
+}
+
+// WithTrace attaches a distributed tracing timeline (see internal/obs) to
+// the run. The window observer commits one deterministic compute span per
+// active engine per window — virtual bounds plus modeled busy seconds, with
+// straggler factors applied — and derives barrier-wait spans and the online
+// straggler attribution from them. A nil timeline is ignored; with tracing
+// off the observer takes a single nil-check and allocates nothing.
+func WithTrace(t *obs.Timeline) Option {
+	return func(o *runOptions) { o.trace = t }
 }
 
 // WithRouting overrides the run's route oracle (taking precedence over

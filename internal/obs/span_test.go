@@ -1,0 +1,251 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// commit is a test helper: one window of compute spans from (engine, busy)
+// pairs, in ascending engine order as the observation plane guarantees.
+func commit(t *Timeline, start, end float64, busy map[int]float64) WindowStat {
+	var spans []Span
+	for e := 0; ; e++ {
+		if len(spans) == len(busy) {
+			break
+		}
+		if b, ok := busy[e]; ok {
+			spans = append(spans, Span{Kind: SpanCompute, Engine: e, Start: start, End: end, Busy: b})
+		}
+	}
+	return t.CommitWindow(start, end, spans)
+}
+
+func TestTimelineAttributionAndBarriers(t *testing.T) {
+	tl := NewTimeline()
+	tl.Assign([]int{0, 1}, 0)
+	tl.Assign([]int{2, 3}, 1)
+
+	// Worker 1 (engine 2) gates the first window by 3s, worker 0 the second.
+	st := commit(tl, 0, 1, map[int]float64{0: 2, 1: 1, 2: 5, 3: 4})
+	if st.Worker != 1 || st.Busy != 5 || st.Lag != 3 {
+		t.Fatalf("window 0 stat = %+v, want worker 1 busy 5 lag 3", st)
+	}
+	st = commit(tl, 1, 2, map[int]float64{0: 6, 2: 2})
+	if st.Worker != 0 || st.Busy != 6 || st.Lag != 4 {
+		t.Fatalf("window 1 stat = %+v, want worker 0 busy 6 lag 4", st)
+	}
+
+	var barriers []Span
+	for _, s := range tl.Spans() {
+		if s.Kind == SpanBarrier {
+			barriers = append(barriers, s)
+		}
+	}
+	if len(barriers) != 2 {
+		t.Fatalf("got %d barrier spans, want 2 (one non-gating worker per window)", len(barriers))
+	}
+	if b := barriers[0]; b.Worker != 0 || b.Window != 0 || b.Busy != 3 {
+		t.Errorf("window 0 barrier = %+v, want worker 0 waiting 3s", b)
+	}
+	if b := barriers[1]; b.Worker != 1 || b.Window != 1 || b.Busy != 4 {
+		t.Errorf("window 1 barrier = %+v, want worker 1 waiting 4s", b)
+	}
+
+	h := tl.Health()
+	if len(h) != 2 {
+		t.Fatalf("health rows = %d, want 2", len(h))
+	}
+	if h[0].Worker != 0 || h[0].GatedWindows != 1 || h[0].CriticalPath != 6 {
+		t.Errorf("worker 0 health = %+v", h[0])
+	}
+	if h[1].Worker != 1 || h[1].GatedWindows != 1 || h[1].CriticalPath != 5 {
+		t.Errorf("worker 1 health = %+v", h[1])
+	}
+	if got := h[0].Share + h[1].Share; math.Abs(got-1) > 1e-12 {
+		t.Errorf("shares sum to %g, want 1", got)
+	}
+	if math.Abs(h[0].Share-6.0/11) > 1e-12 {
+		t.Errorf("worker 0 share = %g, want 6/11", h[0].Share)
+	}
+}
+
+func TestTimelineTieGoesToLowerWorker(t *testing.T) {
+	tl := NewTimeline()
+	tl.Assign([]int{0}, 0)
+	tl.Assign([]int{1}, 1)
+	st := commit(tl, 0, 1, map[int]float64{0: 3, 1: 3})
+	if st.Worker != 0 {
+		t.Fatalf("tied window attributed to worker %d, want 0 (lower id)", st.Worker)
+	}
+	if st.Lag != 0 {
+		t.Fatalf("tied window lag = %g, want 0", st.Lag)
+	}
+}
+
+func TestTimelineUnassignedEnginesAreTheirOwnWorker(t *testing.T) {
+	tl := NewTimeline()
+	commit(tl, 0, 1, map[int]float64{0: 1, 1: 2})
+	for _, s := range tl.Spans() {
+		if s.Kind == SpanCompute && s.Worker != s.Engine {
+			t.Fatalf("in-process span %+v: worker should equal engine", s)
+		}
+	}
+	// Only gating workers get health rows; engine 1 gated the sole window.
+	if h := tl.Health(); len(h) != 1 || h[0].Worker != 1 || h[0].GatedWindows != 1 {
+		t.Fatalf("in-process health = %+v, want only engine 1 gating", h)
+	}
+}
+
+func TestTimelineIdleWindow(t *testing.T) {
+	tl := NewTimeline()
+	st := tl.CommitWindow(0, 1, nil)
+	if st.Worker != -1 || st.Busy != 0 || st.Lag != 0 {
+		t.Fatalf("idle window stat = %+v, want worker -1", st)
+	}
+	if n := len(tl.Spans()); n != 0 {
+		t.Fatalf("idle window produced %d spans", n)
+	}
+}
+
+func TestTimelineWallFolding(t *testing.T) {
+	tl := NewTimeline()
+	tl.Assign([]int{0, 1}, 0)
+	// A worker-measured compute wall time is held until the commit; a
+	// checkpoint span appends directly.
+	tl.AddWall([]Span{
+		{Kind: SpanCompute, Worker: 0, Engine: 1, Start: 0, End: 1, Wall: 0.25},
+		{Kind: SpanCheckpoint, Worker: 0, Engine: -1, Start: 1, End: 1, Wall: 0.5},
+	})
+	commit(tl, 0, 1, map[int]float64{0: 1, 1: 2})
+
+	var compute1, ckpt *Span
+	for _, s := range tl.Spans() {
+		s := s
+		switch {
+		case s.Kind == SpanCompute && s.Engine == 1:
+			compute1 = &s
+		case s.Kind == SpanCheckpoint:
+			ckpt = &s
+		}
+	}
+	if compute1 == nil || compute1.Wall != 0.25 {
+		t.Fatalf("compute span for engine 1 = %+v, want folded wall 0.25", compute1)
+	}
+	if ckpt == nil || ckpt.Wall != 0.5 {
+		t.Fatalf("checkpoint span = %+v, want wall 0.5", ckpt)
+	}
+	// A stale pending wall (engine idle this window) must not leak into the
+	// next window's span.
+	tl.AddWall([]Span{{Kind: SpanCompute, Worker: 0, Engine: 0, Start: 1, End: 2, Wall: 9}})
+	commit(tl, 1, 2, map[int]float64{1: 1})
+	commit(tl, 2, 3, map[int]float64{0: 1})
+	for _, s := range tl.Spans() {
+		if s.Kind == SpanCompute && s.Window == 2 && s.Wall != 0 {
+			t.Fatalf("stale wall leaked into window 2: %+v", s)
+		}
+	}
+}
+
+func TestTimelineCanonicalJSONIgnoresDeployment(t *testing.T) {
+	build := func(assign bool) *Timeline {
+		tl := NewTimeline()
+		if assign {
+			tl.Assign([]int{0, 1}, 0)
+			tl.Assign([]int{2}, 1)
+			// Wall measurements arrive only in the distributed shape.
+			tl.AddWall([]Span{{Kind: SpanCompute, Engine: 2, Wall: 0.1}})
+		}
+		commit(tl, 0, 0.5, map[int]float64{0: 1, 1: 2, 2: 3})
+		commit(tl, 0.5, 1, map[int]float64{1: 4, 2: 1})
+		return tl
+	}
+	dist := build(true).CanonicalJSON()
+	inproc := build(false).CanonicalJSON()
+	if !bytes.Equal(dist, inproc) {
+		t.Fatalf("canonical projection differs across deployment shapes:\n%s\nvs\n%s", dist, inproc)
+	}
+	if !bytes.Contains(dist, []byte(`{"window":0,"engine":0,"start":0,"end":0.5,"busy":1}`)) {
+		t.Fatalf("canonical form missing expected line:\n%s", dist)
+	}
+}
+
+func TestTimelineReset(t *testing.T) {
+	tl := NewTimeline()
+	tl.Assign([]int{0}, 7)
+	commit(tl, 0, 1, map[int]float64{0: 1})
+	tl.Reset()
+	if tl.Windows() != 0 || len(tl.Spans()) != 0 || len(tl.Health()) != 0 || len(tl.DrainWindowStats()) != 0 {
+		t.Fatal("reset left state behind")
+	}
+	// Assignments are gone too: engine 0 is its own worker again.
+	commit(tl, 0, 1, map[int]float64{0: 1})
+	if s := tl.Spans(); s[0].Worker != 0 {
+		t.Fatalf("post-reset span worker = %d, want 0", s[0].Worker)
+	}
+}
+
+func TestTimelineDrainWindowStats(t *testing.T) {
+	tl := NewTimeline()
+	commit(tl, 0, 1, map[int]float64{0: 1})
+	commit(tl, 1, 2, map[int]float64{0: 1})
+	if got := len(tl.DrainWindowStats()); got != 2 {
+		t.Fatalf("first drain returned %d stats, want 2", got)
+	}
+	if got := len(tl.DrainWindowStats()); got != 0 {
+		t.Fatalf("second drain returned %d stats, want 0", got)
+	}
+}
+
+// traceDoc mirrors the Chrome trace_event schema subset the export uses.
+type traceDoc struct {
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+	TraceEvents     []struct {
+		Ph   string  `json:"ph"`
+		Name string  `json:"name"`
+		Pid  int     `json:"pid"`
+		Tid  int     `json:"tid"`
+		Ts   float64 `json:"ts"`
+		Dur  float64 `json:"dur"`
+		Args map[string]any
+	} `json:"traceEvents"`
+}
+
+func TestWriteTraceEventsIsValidTraceEventJSON(t *testing.T) {
+	tl := NewTimeline()
+	tl.Assign([]int{0, 1}, 0)
+	tl.Assign([]int{2}, 1)
+	tl.AddWall([]Span{{Kind: SpanWireRecv, Worker: 1, Engine: -1, Start: 0, End: 1, Wall: 0.002}})
+	commit(tl, 0, 1, map[int]float64{0: 1, 1: 2, 2: 5})
+
+	var buf bytes.Buffer
+	if err := tl.WriteTraceEvents(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc traceDoc
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace output is not valid JSON: %v\n%s", err, buf.Bytes())
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q, want ms", doc.DisplayTimeUnit)
+	}
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		counts[ev.Ph+"/"+ev.Name]++
+		if ev.Ph == "X" && ev.Name == "compute" && ev.Pid == 1 {
+			if ev.Tid != 3 { // engine 2 renders on tid engine+1
+				t.Errorf("worker 1 compute span on tid %d, want 3", ev.Tid)
+			}
+			if ev.Ts != 0 || ev.Dur != 5e6 {
+				t.Errorf("compute span ts/dur = %g/%g, want 0/5e6 virtual µs", ev.Ts, ev.Dur)
+			}
+		}
+	}
+	if counts["M/process_name"] != 2 {
+		t.Errorf("process_name metadata = %d, want 2 workers", counts["M/process_name"])
+	}
+	if counts["X/compute"] != 3 || counts["X/barrier-wait"] != 1 || counts["X/wire-recv"] != 1 {
+		t.Errorf("event counts = %v, want 3 compute, 1 barrier-wait, 1 wire-recv", counts)
+	}
+}

@@ -18,18 +18,43 @@ import (
 //
 //	srv, addr, err := obs.ServeDebug(addr, telemetry.Mount(col))
 func Mount(c *Collector) func(*http.ServeMux) {
+	return MountCluster(c, nil)
+}
+
+// MountCluster is Mount plus the coordinator's cluster-health plane:
+//
+//	/metrics  traffic exposition followed by the ClusterHealth families
+//	/healthz  machine-readable worker/straggler summary (JSON)
+//
+// Either argument may be nil — a nil collector serves an empty traffic plane
+// (the coordinator-only deployment), a nil health drops /healthz and the
+// extra /metrics families. The two registries render back-to-back in one
+// body because a ServeMux allows only one /metrics handler.
+func MountCluster(c *Collector, h *ClusterHealth) func(*http.ServeMux) {
 	return func(mux *http.ServeMux) {
 		mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-			if c == nil {
-				return
+			if c != nil {
+				_ = c.Metrics().WriteExposition(w)
 			}
-			_ = c.Metrics().WriteExposition(w)
+			if h != nil {
+				_ = h.WriteExposition(w)
+			}
 		})
 		mux.HandleFunc("/trafficmatrix", func(w http.ResponseWriter, r *http.Request) {
 			w.Header().Set("Content-Type", "application/json")
+			if c == nil {
+				_, _ = io.WriteString(w, "{}\n")
+				return
+			}
 			_ = WriteMatrixJSON(w, c.Snapshot())
 		})
+		if h != nil {
+			mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				_ = h.WriteHealthz(w)
+			})
+		}
 	}
 }
 

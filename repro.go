@@ -251,6 +251,16 @@ type (
 	// ObsEvent is one recovery lifecycle event (checkpoint, crash,
 	// rollback, migration).
 	ObsEvent = obs.Event
+	// Timeline merges per-window spans into the run's virtual-time trace —
+	// the source for Chrome trace_event export and straggler attribution
+	// (Scenario.Trace, WithTrace, dist.RunSpec.Trace).
+	Timeline = obs.Timeline
+	// Span is one traced interval: a per-engine compute window, a derived
+	// barrier wait, or a worker-side wall-clock segment (wire, checkpoint,
+	// migrate).
+	Span = obs.Span
+	// WorkerHealth is one worker's straggler attribution row.
+	WorkerHealth = obs.WorkerHealth
 )
 
 // Observability constructors and helpers.
@@ -268,6 +278,10 @@ var (
 	PublishStats = obs.Publish
 	// ServeDebug starts the pprof + expvar debug HTTP endpoint.
 	ServeDebug = obs.ServeDebug
+	// NewTimeline returns an empty window-trace timeline.
+	NewTimeline = obs.NewTimeline
+	// WithTrace threads a timeline through one emulation run.
+	WithTrace = emu.WithTrace
 )
 
 // Traffic-plane telemetry (see internal/telemetry): a collector threaded
@@ -285,6 +299,10 @@ type (
 	// TrafficPoint is one measurement window of the imbalance /
 	// cross-engine-traffic timeline.
 	TrafficPoint = telemetry.TrafficPoint
+	// ClusterHealth is the coordinator's live cluster-health registry:
+	// worker count, gated-window counters, critical-path shares, window-lag
+	// histogram and heartbeat RTT gauges (Scenario.ClusterHealth).
+	ClusterHealth = telemetry.ClusterHealth
 )
 
 // Telemetry constructors and helpers.
@@ -300,6 +318,12 @@ var (
 	// WriteTrafficMatrixJSON renders a snapshot as the /trafficmatrix JSON
 	// document.
 	WriteTrafficMatrixJSON = telemetry.WriteMatrixJSON
+	// NewClusterHealth returns an empty cluster-health registry.
+	NewClusterHealth = telemetry.NewClusterHealth
+	// MountClusterTelemetry is MountTelemetry plus the cluster-health plane:
+	// /metrics gains the per-worker families and /healthz serves the JSON
+	// summary. Either argument may be nil.
+	MountClusterTelemetry = telemetry.MountCluster
 )
 
 // SpreadHosts picks n application injection points spread evenly over the
