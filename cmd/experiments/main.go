@@ -20,7 +20,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 | table2 | baselines | traffic")
+		exp      = flag.String("exp", "all", "all | table1 | fig2 | fig3 | fig4 | fig5 | fig6 | fig7 | fig8 | fig9 | fig10 | table2 | baselines | traffic | dynamic")
 		duration = flag.Float64("duration", 120, "virtual duration per emulation (seconds)")
 		full     = flag.Bool("full", false, "use the paper's durations (ScaLapack 600s, GridNPB 900s)")
 		seed     = flag.Int64("seed", 42, "experiment seed")
@@ -116,6 +116,12 @@ func main() {
 			fatal(err)
 		}
 		fmt.Print(experiments.RenderBaselines(rows))
+	case "dynamic":
+		rows, err := experiments.DynamicStudy(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(experiments.RenderDynamicStudy(rows))
 	default:
 		fatal(fmt.Errorf("unknown experiment %q", *exp))
 	}

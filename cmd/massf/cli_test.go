@@ -37,6 +37,14 @@ func TestValidateFlagsAccepts(t *testing.T) {
 		{"routing hier+clusters", func(f *cliFlags) { f.routing = "hier"; f.routingClusters = 8 }},
 		{"routing flat", func(f *cliFlags) { f.routing = "flat" }},
 		{"routing auto default", func(f *cliFlags) { f.routing = "auto" }},
+		{"dynamic default policy", func(f *cliFlags) { f.remapInterval = 10 }},
+		{"dynamic explicit policy", func(f *cliFlags) { f.remapInterval = 10; f.remapPolicy = "game" }},
+		{"dynamic diffusion+metrics", func(f *cliFlags) {
+			f.remapInterval = 5
+			f.remapPolicy = "diffusion"
+			f.metricsAddr = ":1"
+		}},
+		{"policy profile without interval", func(f *cliFlags) { f.remapPolicy = "profile" }},
 	}
 	for _, tc := range cases {
 		f := base()
@@ -95,6 +103,32 @@ func TestValidateFlagsRejects(t *testing.T) {
 		{"negative clusters", func(f *cliFlags) { f.routing = "hier"; f.routingClusters = -3 }, netgraph.ErrRoutingConfig},
 		{"worker+routing", func(f *cliFlags) {
 			*f = cliFlags{worker: ":1", routing: "lazy"}
+		}, errWorkerExclusive},
+
+		{"negative remap interval", func(f *cliFlags) { f.remapInterval = -1 }, errBadRemapInterval},
+		{"policy without interval", func(f *cliFlags) { f.remapPolicy = "game" }, errRemapPolicyInterval},
+		{"bad policy", func(f *cliFlags) { f.remapInterval = 10; f.remapPolicy = "simulated-annealing" }, errBadRemapPolicy},
+		{"dynamic+approach", func(f *cliFlags) {
+			f.remapInterval = 10
+			f.approach = "PROFILE"
+		}, errRemapApproach},
+		{"dynamic+fault", func(f *cliFlags) {
+			f.remapInterval = 10
+			f.faults = true
+		}, errRemapModeExclusive},
+		{"dynamic+trace-out", func(f *cliFlags) {
+			f.remapInterval = 10
+			f.traceOut = "t.json"
+		}, errRemapModeExclusive},
+		{"dynamic+result-out", func(f *cliFlags) {
+			f.remapInterval = 10
+			f.resultOut = "o.json"
+		}, errRemapModeExclusive},
+		{"worker+remap", func(f *cliFlags) {
+			*f = cliFlags{worker: ":1", remapInterval: 10}
+		}, errWorkerExclusive},
+		{"worker+remap-policy", func(f *cliFlags) {
+			*f = cliFlags{worker: ":1", remapPolicy: "game"}
 		}, errWorkerExclusive},
 	}
 	for _, tc := range cases {

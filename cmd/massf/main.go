@@ -22,6 +22,17 @@
 // message cost. -naive-recovery dumps a dead engine's nodes onto one
 // survivor instead of repartitioning, for comparison.
 //
+// Dynamic remapping: -remap-interval N re-partitions the virtual network
+// every N virtual seconds from the live measured traffic, printing the
+// per-segment imbalance, migration and cross-engine-traffic table —
+//
+//	massf -topology Campus -app GridNPB -remap-interval 10 -remap-policy game
+//
+// -remap-policy selects profile (from-scratch PROFILE, the default),
+// incremental (refine the previous assignment), game (game-theoretic
+// iterative repartitioning to a Nash-style fixed point) or diffusion (the
+// traffic-blind load-diffusion baseline).
+//
 // Observability: -stats prints the kernel's aggregated run counters, -trace
 // FILE writes the deterministic JSONL kernel trace (suffixed .<approach> when
 // -approach all), and -pprof ADDR serves /debug/pprof and /debug/vars for
@@ -115,6 +126,9 @@ func main() {
 		workers    = flag.Int("workers", 0, "number of worker connections to wait for (with -coordinator)")
 		resultOut  = flag.String("result-out", "", "write the run's canonical result JSON to this file (.<approach> suffix with -approach all)")
 
+		remapInterval = flag.Float64("remap-interval", 0, "dynamic remapping: repartition every N virtual seconds from the measured traffic (0 = off)")
+		remapPolicy   = flag.String("remap-policy", "profile", "dynamic remap policy: profile | incremental | game | diffusion (with -remap-interval)")
+
 		elastic    = flag.Bool("elastic", false, "elastic membership: keep listening for joiners mid-run; workers may drain (Ctrl-C) or die (TOP only)")
 		capacity   = flag.Int("capacity", 0, "engine capacity for -elastic (max workers × engines-per-worker; default: the topology's engine count)")
 		hbInterval = flag.Duration("hb-interval", 0, "heartbeat interval for liveness detection (0 disables; with -coordinator)")
@@ -150,6 +164,9 @@ func main() {
 		faults:      len(faultSpecs) > 0,
 		elastic:     *elastic,
 		capacity:    *capacity,
+
+		remapInterval: *remapInterval,
+		remapPolicy:   *remapPolicy,
 	}); err != nil {
 		fatal(err)
 	}
@@ -361,6 +378,43 @@ func main() {
 		}
 	}
 
+	if *remapInterval > 0 {
+		// Dynamic remapping mode: one TOP-seeded run, repartitioned every
+		// interval from the measured traffic under the selected policy.
+		policy, _ := core.ParseRemapPolicy(*remapPolicy) // validated above
+		sc.Remap = policy
+		if live != nil {
+			sc.Recorder = live
+		}
+		start := time.Now()
+		res, err := sc.RunDynamic(ctx, *remapInterval, 0)
+		if err != nil {
+			fatal(fmt.Errorf("dynamic: %w", err))
+		}
+		fmt.Printf("dynamic remapping: policy=%s interval=%gs\n", policy, *remapInterval)
+		fmt.Printf("%8s %10s %7s %11s %9s %7s %6s %10s\n",
+			"start(s)", "imbalance", "flows", "migrations", "cross-MB", "rounds", "moves", "converged")
+		for _, s := range res.Segments {
+			rounds, moves, conv := "-", "-", "-"
+			if s.Remap != nil {
+				moves = fmt.Sprint(s.Remap.MovesTaken)
+				if s.Remap.Policy == core.RemapGame {
+					rounds = fmt.Sprint(s.Remap.Rounds)
+					conv = fmt.Sprint(s.Remap.Converged)
+				}
+			}
+			fmt.Printf("%8.1f %10.3f %7d %11d %9.2f %7s %6s %10s\n",
+				s.Start, s.Imbalance, s.Flows, s.Migrations,
+				float64(s.CrossEngineBytes)/1e6, rounds, moves, conv)
+		}
+		fmt.Printf("total: imbalance %.3f (mean segment %.3f), app-time %.1fs, net-time %.1fs, "+
+			"%d migrations, %.1f MB cross-engine, wall %s\n",
+			res.Imbalance, res.MeanSegmentImbalance, res.AppTime, res.NetTime,
+			res.Migrations, float64(res.CrossEngineBytes)/1e6,
+			time.Since(start).Round(time.Millisecond))
+		return
+	}
+
 	fmt.Printf("%-8s %10s %12s %12s %10s %9s %10s %9s\n",
 		"approach", "imbalance", "app-time(s)", "net-time(s)", "lookahead", "windows", "remote-ev", "wall")
 	for _, a := range approaches {
@@ -549,6 +603,9 @@ type cliFlags struct {
 	faults                 bool
 	elastic                bool
 	capacity               int
+
+	remapInterval float64
+	remapPolicy   string
 }
 
 // Flag-combination errors — typed so callers (and tests) can match them with
@@ -570,6 +627,12 @@ var (
 	errElasticNeedsCoord  = errors.New("-elastic only applies together with -coordinator")
 	errElasticTop         = errors.New("-elastic repartitions with the TOP mapper; use -approach TOP")
 	errCapacityElastic    = errors.New("-capacity only applies together with -elastic")
+
+	errBadRemapInterval     = errors.New("-remap-interval must be positive")
+	errBadRemapPolicy       = errors.New("-remap-policy must be profile, incremental, game or diffusion")
+	errRemapPolicyInterval  = errors.New("-remap-policy only applies together with -remap-interval")
+	errRemapApproach        = errors.New("-remap-interval always starts from the TOP partition; leave -approach unset")
+	errRemapModeExclusive   = errors.New("-remap-interval runs the in-process dynamic loop and cannot combine with -coordinator, -fault, -elastic, -trace, -trace-out, -result-out or -matrix-out")
 )
 
 // validateFlags rejects contradictory flag combinations up front, before any
@@ -584,6 +647,7 @@ func validateFlags(f cliFlags) error {
 			f.stats, f.metricsAddr != "", f.matrixOut != "", f.traceOut != "", f.resultOut != "",
 			f.faults, f.elastic, f.capacity != 0,
 			f.routing != "" && f.routing != "auto", f.routingRows != 0, f.routingClusters != 0,
+			f.remapInterval != 0, f.remapPolicy != "" && f.remapPolicy != "profile",
 		}
 		for _, set := range others {
 			if set {
@@ -612,6 +676,28 @@ func validateFlags(f cliFlags) error {
 	}
 	if f.capacity != 0 && !f.elastic {
 		return errCapacityElastic
+	}
+	if f.remapInterval < 0 {
+		return fmt.Errorf("%w (got %g)", errBadRemapInterval, f.remapInterval)
+	}
+	if f.remapInterval == 0 && f.remapPolicy != "" && f.remapPolicy != "profile" {
+		return errRemapPolicyInterval
+	}
+	if f.remapInterval > 0 {
+		policy := f.remapPolicy
+		if policy == "" {
+			policy = "profile"
+		}
+		if _, err := core.ParseRemapPolicy(policy); err != nil {
+			return fmt.Errorf("%w (got %q)", errBadRemapPolicy, f.remapPolicy)
+		}
+		if f.approach != "all" {
+			return errRemapApproach
+		}
+		if f.coordinator != "" || f.faults || f.elastic ||
+			f.tracePath != "" || f.traceOut != "" || f.resultOut != "" || f.matrixOut != "" {
+			return errRemapModeExclusive
+		}
 	}
 	if f.duration <= 0 {
 		return fmt.Errorf("%w (got %g)", errBadDuration, f.duration)

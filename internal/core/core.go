@@ -79,8 +79,14 @@ type Scenario struct {
 	EngineSpeeds []float64
 	// IncrementalRemap makes RunDynamic refine the previous assignment
 	// between intervals (partition.Improve) instead of repartitioning from
-	// scratch, trading some balance for far fewer migrations.
+	// scratch, trading some balance for far fewer migrations. Subsumed by
+	// Remap (it selects RemapIncremental when Remap is unset); kept for
+	// callers predating the policy knob.
 	IncrementalRemap bool
+	// Remap selects RunDynamic's between-interval repartitioning policy:
+	// RemapProfile (from scratch, the default), RemapIncremental, RemapGame
+	// or RemapDiffusion. Empty falls back to IncrementalRemap's choice.
+	Remap RemapPolicy
 	// Cost overrides the engine cost model (zero = PentiumIICluster).
 	Cost emu.CostModel
 	// EndTime optionally truncates the emulation.

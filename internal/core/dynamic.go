@@ -9,6 +9,7 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/metrics"
 	"repro/internal/netflow"
+	"repro/internal/partition"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
@@ -36,6 +37,75 @@ import (
 // produce identical interval partitions (regression-tested), because both
 // observe the identical packet stream at the identical hot-path site.
 
+// RemapPolicy selects how RunDynamic recomputes the partition between
+// intervals.
+type RemapPolicy string
+
+const (
+	// RemapProfile repartitions each interval from scratch with the full
+	// PROFILE pipeline — the best partition money can buy, paid for in
+	// migrations.
+	RemapProfile RemapPolicy = "profile"
+	// RemapIncremental refines the previous assignment with the multilevel
+	// partitioner's boundary refinement (mapping.ProfileImprove).
+	RemapIncremental RemapPolicy = "incremental"
+	// RemapGame plays the game-theoretic iterative repartitioner: every
+	// virtual node selfishly trades load, cross-engine traffic and the
+	// modeled migration cost until a Nash-style fixed point
+	// (mapping.GameRemap).
+	RemapGame RemapPolicy = "game"
+	// RemapDiffusion is the traffic-blind load-diffusion baseline
+	// (mapping.DiffusionRemap).
+	RemapDiffusion RemapPolicy = "diffusion"
+)
+
+// RemapPolicies lists the valid policies in presentation order.
+func RemapPolicies() []RemapPolicy {
+	return []RemapPolicy{RemapProfile, RemapIncremental, RemapGame, RemapDiffusion}
+}
+
+// ParseRemapPolicy validates a policy name from a flag or config file.
+func ParseRemapPolicy(s string) (RemapPolicy, error) {
+	switch p := RemapPolicy(s); p {
+	case RemapProfile, RemapIncremental, RemapGame, RemapDiffusion:
+		return p, nil
+	}
+	return "", fmt.Errorf("core: unknown remap policy %q (want profile, incremental, game or diffusion)", s)
+}
+
+// remapPolicy resolves the scenario's effective policy, folding in the older
+// IncrementalRemap boolean when Remap is unset.
+func (sc *Scenario) remapPolicy() (RemapPolicy, error) {
+	if sc.Remap == "" {
+		if sc.IncrementalRemap {
+			return RemapIncremental, nil
+		}
+		return RemapProfile, nil
+	}
+	return ParseRemapPolicy(string(sc.Remap))
+}
+
+// RemapStats reports the remapping step that produced a segment's
+// assignment.
+type RemapStats struct {
+	// Policy is the remap policy that ran.
+	Policy RemapPolicy
+	// Rounds, MovesEvaluated, Converged and Payoffs describe the game
+	// policy's convergence (zero/nil for the other policies): best-response
+	// rounds played, candidate moves costed, whether a fixed point was
+	// certified before the round cap, and the non-increasing potential
+	// trajectory (one entry before the first round, one after each round).
+	Rounds         int
+	MovesEvaluated int
+	Converged      bool
+	Payoffs        []float64
+	// MovesTaken counts the remap's accepted moves. For the game policy a
+	// node may move more than once on its way to the fixed point, so this
+	// can exceed the segment's Migrations field, which counts distinct
+	// nodes that changed engines.
+	MovesTaken int
+}
+
 // DynamicSegment reports one remapping interval.
 type DynamicSegment struct {
 	// Start is the interval's beginning in virtual seconds.
@@ -57,6 +127,10 @@ type DynamicSegment struct {
 	// cross-engine-traffic history (times relative to the interval start);
 	// nil without a telemetry plane.
 	Timeline []telemetry.TrafficPoint
+	// Remap describes the remapping step that produced this segment's
+	// assignment; nil for the first segment (which runs under TOP) and for
+	// segments entered without a remap (the previous interval was empty).
+	Remap *RemapStats
 }
 
 // DynamicResult reports a dynamically remapped emulation.
@@ -141,18 +215,34 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 		tel = telemetry.New()
 	}
 
+	policy, err := sc.remapPolicy()
+	if err != nil {
+		return nil, err
+	}
+
 	res := &DynamicResult{}
 	engineTotals := make([]float64, sc.Engines)
 	incomingMigrations := 0
-	for start := 0.0; start < duration; start += interval {
-		end := start + interval
-		if end >= duration {
+	var incomingRemap *RemapStats
+	var profScratch *netflow.Summary
+	// Segments are indexed by integer, never by accumulating start +=
+	// interval: the accumulated float error can leave start < duration after
+	// the tail segment already ran with end = +Inf, and the resulting
+	// spurious extra segment would re-emulate (and re-count) trailing flows.
+	for i := 0; ; i++ {
+		start := float64(i) * interval
+		if start >= duration {
+			break
+		}
+		end := float64(i+1) * interval
+		tail := end >= duration
+		if tail {
 			// Applications may emit trailing flows slightly past the
 			// nominal duration; the last interval absorbs them.
 			end = math.Inf(1)
 		}
 		seg := sliceWorkload(w, start, end)
-		if math.IsInf(end, 1) {
+		if tail {
 			seg.Duration = duration - start
 		}
 		opts := sc.runOptions(ctx)
@@ -179,6 +269,7 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 			Migrations: incomingMigrations,
 			Flows:      len(seg.Flows),
 			Assignment: append([]int(nil), assignment...),
+			Remap:      incomingRemap,
 		}
 		if segResult.Telemetry != nil {
 			segOut.CrossEngineBytes = segResult.Telemetry.CrossEngineBytes
@@ -193,35 +284,29 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 			engineTotals[e] += l
 		}
 
-		// Remap for the next interval from this interval's measured traffic
-		// — from scratch, or by refining the current assignment (fewer
-		// migrations) when IncrementalRemap is set.
 		incomingMigrations = 0
-		if end < duration && len(seg.Flows) > 0 {
+		incomingRemap = nil
+		if tail {
+			// The tail segment absorbed every remaining flow; stop here —
+			// running another iteration would be pure float-drift fallout.
+			break
+		}
+		// Remap for the next interval from this interval's measured traffic,
+		// under the selected policy. An empty interval measured nothing, so
+		// its remap is skipped and the assignment carries over.
+		if len(seg.Flows) > 0 {
 			in, err := sc.mappingInput()
 			if err != nil {
 				return nil, err
 			}
-			in.Summary = sc.segProfile(tel, segResult)
-			if sc.IncrementalRemap {
-				next, moved, err := mapping.ProfileImprove(in, assignment)
-				if err != nil {
-					return nil, fmt.Errorf("core: dynamic incremental remap at %gs: %w", end, err)
-				}
-				incomingMigrations = moved
-				assignment = next
-			} else {
-				next, err := mapping.ProfileMap(in)
-				if err != nil {
-					return nil, fmt.Errorf("core: dynamic remap at %gs: %w", end, err)
-				}
-				for v := range next {
-					if next[v] != assignment[v] {
-						incomingMigrations++
-					}
-				}
-				assignment = next
+			in.Summary = sc.segProfile(tel, segResult, &profScratch)
+			next, moved, stats, err := sc.remapStep(policy, in, assignment, interval, migrationCost)
+			if err != nil {
+				return nil, fmt.Errorf("core: dynamic %s remap at %gs: %w", policy, end, err)
 			}
+			incomingMigrations = moved
+			incomingRemap = stats
+			assignment = next
 		}
 	}
 
@@ -240,15 +325,71 @@ func (sc *Scenario) RunDynamic(ctx context.Context, interval, migrationCost floa
 	return res, nil
 }
 
+// remapStep recomputes the assignment from the interval's measured profile
+// under the selected policy, returning the next assignment (a fresh slice),
+// the number of nodes that changed engines, and the step's stats.
+func (sc *Scenario) remapStep(policy RemapPolicy, in mapping.Input, assignment []int, interval, migrationCost float64) ([]int, int, *RemapStats, error) {
+	st := &RemapStats{Policy: policy}
+	switch policy {
+	case RemapIncremental:
+		next, moved, err := mapping.ProfileImprove(in, assignment)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		st.MovesTaken = moved
+		return next, moved, st, nil
+	case RemapGame:
+		// The migration penalty enters the payoff in the game's normalized
+		// units: the fraction of the interval one migration stalls. The
+		// tie-break seed derives from PartSeed inside GameRemap.
+		gopts := partition.GameOptions{
+			MigrationCost: emu.NormalizedMigrationCost(migrationCost, interval),
+		}
+		next, moved, gs, err := mapping.GameRemap(in, assignment, gopts)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		st.Rounds = gs.Rounds
+		st.MovesEvaluated = gs.MovesEvaluated
+		st.MovesTaken = gs.MovesTaken
+		st.Converged = gs.Converged
+		st.Payoffs = gs.Payoffs
+		return next, moved, st, nil
+	case RemapDiffusion:
+		next, moved, err := mapping.DiffusionRemap(in, assignment)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		st.MovesTaken = moved
+		return next, moved, st, nil
+	default: // RemapProfile
+		next, err := mapping.ProfileMap(in)
+		if err != nil {
+			return nil, 0, nil, err
+		}
+		moved := 0
+		for v := range next {
+			if next[v] != assignment[v] {
+				moved++
+			}
+		}
+		st.MovesTaken = moved
+		return next, moved, st, nil
+	}
+}
+
 // segProfile picks the interval's remap feed: the NetFlow dump under
 // NetFlowRemap, the telemetry plane's measured traffic otherwise. The two are
 // numerically identical (see emu's TestTelemetryMatchesNetFlowProfile), so
-// flipping the knob never changes the produced partitions.
-func (sc *Scenario) segProfile(tel *telemetry.Collector, segResult *emu.Result) *netflow.Summary {
+// flipping the knob never changes the produced partitions. The telemetry
+// path exports into *scratch, reusing the previous interval's summary
+// storage instead of reallocating it every boundary.
+func (sc *Scenario) segProfile(tel *telemetry.Collector, segResult *emu.Result, scratch **netflow.Summary) *netflow.Summary {
 	if sc.NetFlowRemap {
 		return segResult.NetFlow.Summarize()
 	}
-	return tel.ToProfile()
+	*scratch = tel.ToProfileInto(*scratch)
+	return *scratch
 }
 
 // sliceWorkload keeps the flows starting in [start, end), rebased so the

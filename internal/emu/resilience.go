@@ -22,6 +22,21 @@ const DefaultCheckpointEvery = 10.0
 // Ethernet. Shared with the dynamic-remap prototype in internal/core.
 const DefaultMigrationCost = 50e-3
 
+// NormalizedMigrationCost converts a per-node migration stall (seconds) into
+// the dimensionless units the game-theoretic repartitioner trades against
+// its normalized load and traffic objectives: the fraction of one remapping
+// interval a single migration stalls. A non-positive stall falls back to
+// DefaultMigrationCost; a non-positive interval disables the penalty.
+func NormalizedMigrationCost(stall, interval float64) float64 {
+	if stall <= 0 {
+		stall = DefaultMigrationCost
+	}
+	if interval <= 0 {
+		return 0
+	}
+	return stall / interval
+}
+
 // EngineFailure describes a detected engine crash, handed to Config.OnCrash
 // so the caller can compute the recovery assignment.
 type EngineFailure struct {

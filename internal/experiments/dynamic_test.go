@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestDynamicStudy(t *testing.T) {
+	rows, err := DynamicStudy(Config{Duration: 50, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("got %d rows, want 4 policies", len(rows))
+	}
+	byPolicy := map[core.RemapPolicy]DynamicRow{}
+	for _, r := range rows {
+		byPolicy[r.Policy] = r
+		if r.Imbalance <= 0 || r.AppTime <= 0 {
+			t.Errorf("%s: degenerate row %+v", r.Policy, r)
+		}
+	}
+	game, ok := byPolicy[core.RemapGame]
+	if !ok {
+		t.Fatal("game policy missing from the study")
+	}
+	profile := byPolicy[core.RemapProfile]
+	if !game.Converged {
+		t.Error("game policy did not converge on the study workload")
+	}
+	if game.Rounds == 0 {
+		t.Error("game policy recorded zero best-response rounds")
+	}
+	// The headline tradeoff (strict inequality is asserted by the core
+	// acceptance test on the full workload; here we only require the study
+	// not to contradict it).
+	if game.Migrations > profile.Migrations {
+		t.Errorf("game migrated %d nodes, PROFILE %d — game should not migrate more",
+			game.Migrations, profile.Migrations)
+	}
+
+	out := RenderDynamicStudy(rows)
+	for _, p := range []string{"profile", "incremental", "game", "diffusion"} {
+		if !strings.Contains(out, p) {
+			t.Errorf("rendered study missing policy %q:\n%s", p, out)
+		}
+	}
+}

@@ -21,7 +21,10 @@ type Report struct {
 	// Baselines is the §5 comparison against the pre-existing traffic-blind
 	// strategies (greedy k-cluster, simple hierarchical).
 	Baselines []BaselineRow
-	Elapsed   time.Duration
+	// Dynamic is the remap-policy comparison (PROFILE / incremental / game /
+	// diffusion) on the bursty GridNPB Campus run.
+	Dynamic []DynamicRow
+	Elapsed time.Duration
 }
 
 // All runs the complete evaluation: every table and figure of §4.
@@ -50,6 +53,9 @@ func All(cfg Config) (*Report, error) {
 	}
 	if r.Baselines, err = Baselines(cfg); err != nil {
 		return nil, fmt.Errorf("baselines: %w", err)
+	}
+	if r.Dynamic, err = DynamicStudy(cfg); err != nil {
+		return nil, fmt.Errorf("dynamic study: %w", err)
 	}
 	r.Elapsed = time.Since(start)
 	return r, nil
@@ -134,6 +140,15 @@ func (r *Report) Markdown() string {
 		b.WriteString("The paper argues pre-existing strategies (manual/simple hierarchical partitioning, ")
 		b.WriteString("greedy k-cluster) were not robust. Measured on TeraGrid + ScaLapack:\n\n")
 		b.WriteString("```\n" + RenderBaselines(r.Baselines) + "```\n\n")
+	}
+
+	if len(r.Dynamic) > 0 {
+		b.WriteString("## Beyond the paper's figures — dynamic remap policies\n\n")
+		b.WriteString("The same bursty GridNPB Campus run under each remap policy: from-scratch ")
+		b.WriteString("PROFILE, incremental refinement, the game-theoretic best-response policy, ")
+		b.WriteString("and a traffic-blind diffusion baseline. The game policy's claim: cross-engine ")
+		b.WriteString("traffic no worse than PROFILE's with strictly fewer migrations.\n\n")
+		b.WriteString("```\n" + RenderDynamicStudy(r.Dynamic) + "```\n\n")
 	}
 
 	fmt.Fprintf(&b, "---\nGenerated in %s.\n", r.Elapsed.Round(time.Millisecond))

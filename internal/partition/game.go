@@ -1,0 +1,282 @@
+package partition
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Game-theoretic iterative repartitioning (Kurve, Kesidis et al. style).
+//
+// Each vertex is a selfish player whose strategy is the part (engine) it
+// lives on. A player's cost is what the emulation actually charges it for:
+//
+//	cost_v(e) = LoadWeight    · l_v · load_e(with v on e)
+//	          + TrafficWeight · (incident_v − vec_v[e])
+//	          + MigrationCost · [e ≠ origin_v]
+//
+// where l_v is v's normalized computational load, load_e the normalized load
+// of part e, vec_v[e] the normalized traffic v exchanges with neighbors on
+// part e (so incident_v − vec_v[e] is v's share of the cross-part traffic),
+// and origin_v the part v occupied when the game began. This game is an
+// exact potential game with potential
+//
+//	Φ = LoadWeight · ½ Σ_e load_e² + TrafficWeight · cut + MigrationCost · |moved|
+//
+// — every unilateral move changes Φ by exactly the mover's cost change — so
+// best-response dynamics monotonically decrease Φ and reach a Nash-style
+// fixed point (no player can improve by more than Epsilon) in finitely many
+// moves. GameImprove plays rounds of best responses in fixed vertex-ID order
+// with seeded tie-breaks, making the trajectory deterministic for a given
+// (graph, assignment, options) triple.
+//
+// Moves are evaluated incrementally: deciding a player's best response is
+// O(k) on top of O(deg) bookkeeping per accepted move, never a re-partition.
+
+// DefaultGameRounds caps the best-response rounds when GameOptions.MaxRounds
+// is unset. Potential games converge without a cap, but the cap bounds the
+// remapping latency of an adversarial interval.
+const DefaultGameRounds = 64
+
+// GameOptions tunes GameImprove. The zero value plays load and traffic with
+// equal weight, free migrations, and the default round cap.
+type GameOptions struct {
+	// MaxRounds caps best-response rounds (DefaultGameRounds when <= 0).
+	MaxRounds int
+	// LoadWeight and TrafficWeight scale the two normalized objectives
+	// (both default to 1 when zero; negative values are rejected).
+	LoadWeight    float64
+	TrafficWeight float64
+	// MigrationCost is the price, in the same normalized units, a player
+	// pays for ending the game away from its original part. Zero makes
+	// migrations free; larger values make the fixed point stickier.
+	MigrationCost float64
+	// Epsilon is the minimum cost improvement worth moving for (1e-12 when
+	// <= 0). It guarantees termination: Φ is bounded below and every move
+	// decreases it by more than Epsilon.
+	Epsilon float64
+	// Seed drives the tie-break choice among exactly equal best responses.
+	Seed int64
+}
+
+// GameStats reports a GameImprove run's convergence trajectory.
+type GameStats struct {
+	// Rounds is the number of best-response rounds played, including the
+	// final quiescent round that proved the fixed point.
+	Rounds int
+	// MovesEvaluated counts candidate (player, part) costs computed;
+	// MovesTaken counts accepted moves (a player may move more than once).
+	MovesEvaluated int
+	MovesTaken     int
+	// Converged is true when a round passed with no player moving (a
+	// Nash-style Epsilon-fixed point), false when MaxRounds hit first.
+	Converged bool
+	// Payoffs is the potential Φ before the first round and after each
+	// round — non-increasing by construction.
+	Payoffs []float64
+}
+
+// GameImprove refines part in place by best-response dynamics on g (whose
+// edge weights are the traffic objective). It returns the number of vertices
+// that ended on a different part than they started on, plus the convergence
+// stats. The assignment stays structurally valid throughout: a player never
+// abandons a part it is the last member of.
+func GameImprove(g *Graph, part []int, k int, opts GameOptions) (int, *GameStats, error) {
+	if err := Verify(g, part, k); err != nil {
+		return 0, nil, fmt.Errorf("partition: game: %w", err)
+	}
+	if opts.LoadWeight < 0 || opts.TrafficWeight < 0 || opts.MigrationCost < 0 {
+		return 0, nil, fmt.Errorf("partition: game: negative weights (load %g, traffic %g, migration %g)",
+			opts.LoadWeight, opts.TrafficWeight, opts.MigrationCost)
+	}
+	if opts.MaxRounds <= 0 {
+		opts.MaxRounds = DefaultGameRounds
+	}
+	if opts.LoadWeight == 0 {
+		opts.LoadWeight = 1
+	}
+	if opts.TrafficWeight == 0 {
+		opts.TrafficWeight = 1
+	}
+	if opts.Epsilon <= 0 {
+		opts.Epsilon = 1e-12
+	}
+
+	n := g.NumVertices()
+	st := &gameState{g: g, part: part, k: k, opts: opts}
+	st.init()
+	stats := &GameStats{Payoffs: []float64{st.potential()}}
+	if k == 1 || n == 0 {
+		stats.Converged = true
+		return 0, stats, nil
+	}
+
+	rng := rand.New(rand.NewSource(opts.Seed))
+	for round := 0; round < opts.MaxRounds; round++ {
+		stats.Rounds = round + 1
+		moves := 0
+		for v := 0; v < n; v++ {
+			cur := part[v]
+			if st.partCount[cur] <= 1 {
+				continue // v is its part's last member; moving would empty it
+			}
+			curCost := st.cost(v, cur)
+			best, bestCost := cur, curCost
+			ties := 1
+			for e := 0; e < k; e++ {
+				if e == cur {
+					continue
+				}
+				stats.MovesEvaluated++
+				c := st.cost(v, e)
+				if c < bestCost {
+					best, bestCost, ties = e, c, 1
+				} else if c == bestCost && best != cur {
+					// Exactly tied best responses: seeded uniform choice,
+					// so symmetric instances still resolve deterministically
+					// for a given seed.
+					ties++
+					if rng.Intn(ties) == 0 {
+						best = e
+					}
+				}
+			}
+			if best != cur && bestCost < curCost-opts.Epsilon {
+				st.move(v, best)
+				moves++
+				stats.MovesTaken++
+			}
+		}
+		stats.Payoffs = append(stats.Payoffs, st.potential())
+		if moves == 0 {
+			stats.Converged = true
+			break
+		}
+	}
+
+	moved := 0
+	for v, p := range part {
+		if p != st.orig[v] {
+			moved++
+		}
+	}
+	return moved, stats, nil
+}
+
+// gameState is the incrementally maintained view the payoff reads: per-part
+// loads and member counts, and per-vertex per-part incident-traffic vectors.
+// All quantities are pre-normalized (loads sum to k, traffic sums to 1) so
+// the three objectives are commensurable regardless of topology scale.
+type gameState struct {
+	g    *Graph
+	part []int
+	k    int
+	opts GameOptions
+
+	orig      []int     // assignment at game start (migration baseline)
+	nodeLoad  []float64 // normalized vertex loads (constraint 0)
+	load      []float64 // per-part normalized load
+	partCount []int
+	vec       []float64 // [v*k+e]: normalized traffic v exchanges with part e
+	incident  []float64 // per-vertex total incident traffic (Σ_e vec[v][e])
+	scaleT    float64   // traffic normalization, cached for potential()
+}
+
+func (st *gameState) init() {
+	g, k := st.g, st.k
+	n := g.NumVertices()
+	st.orig = append([]int(nil), st.part...)
+
+	st.nodeLoad = make([]float64, n)
+	var totalLoad float64
+	for v := range g.VWgt {
+		st.nodeLoad[v] = float64(g.VWgt[v][0])
+		totalLoad += st.nodeLoad[v]
+	}
+	if totalLoad > 0 {
+		scale := float64(k) / totalLoad
+		for v := range st.nodeLoad {
+			st.nodeLoad[v] *= scale
+		}
+	}
+
+	var totalTraffic float64
+	for v := range g.Adj {
+		for _, e := range g.Adj[v] {
+			totalTraffic += float64(e.Wgt)
+		}
+	}
+	totalTraffic /= 2
+	if totalTraffic > 0 {
+		st.scaleT = 1 / totalTraffic
+	}
+
+	st.load = make([]float64, k)
+	st.partCount = make([]int, k)
+	for v, p := range st.part {
+		st.load[p] += st.nodeLoad[v]
+		st.partCount[p]++
+	}
+	st.vec = make([]float64, n*k)
+	st.incident = make([]float64, n)
+	for v := range g.Adj {
+		for _, e := range g.Adj[v] {
+			w := float64(e.Wgt) * st.scaleT
+			st.vec[v*k+st.part[e.To]] += w
+			st.incident[v] += w
+		}
+	}
+}
+
+// cost is player v's cost for sitting on part e, evaluated against the
+// current state of everyone else — the O(k) incremental evaluation.
+func (st *gameState) cost(v, e int) float64 {
+	l := st.load[e]
+	if e != st.part[v] {
+		l += st.nodeLoad[v]
+	}
+	c := st.opts.LoadWeight * st.nodeLoad[v] * l
+	c += st.opts.TrafficWeight * (st.incident[v] - st.vec[v*st.k+e])
+	if e != st.orig[v] {
+		c += st.opts.MigrationCost
+	}
+	return c
+}
+
+// move applies v's accepted best response: O(deg(v)) bookkeeping.
+func (st *gameState) move(v, to int) {
+	from := st.part[v]
+	st.load[from] -= st.nodeLoad[v]
+	st.load[to] += st.nodeLoad[v]
+	st.partCount[from]--
+	st.partCount[to]++
+	for _, e := range st.g.Adj[v] {
+		w := float64(e.Wgt) * st.scaleT
+		st.vec[e.To*st.k+from] -= w
+		st.vec[e.To*st.k+to] += w
+	}
+	st.part[v] = to
+}
+
+// potential is the exact potential Φ the per-round payoff trajectory
+// records; recomputed O(E) once per round, never per move.
+func (st *gameState) potential() float64 {
+	var p float64
+	for _, l := range st.load {
+		p += 0.5 * st.opts.LoadWeight * l * l
+	}
+	var cut float64
+	for u := range st.g.Adj {
+		for _, e := range st.g.Adj[u] {
+			if u < e.To && st.part[u] != st.part[e.To] {
+				cut += float64(e.Wgt) * st.scaleT
+			}
+		}
+	}
+	p += st.opts.TrafficWeight * cut
+	for v, pt := range st.part {
+		if pt != st.orig[v] {
+			p += st.opts.MigrationCost
+		}
+	}
+	return p
+}

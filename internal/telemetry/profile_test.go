@@ -1,0 +1,79 @@
+package telemetry
+
+import (
+	"reflect"
+	"testing"
+)
+
+func observeSome(c *Collector) {
+	c.ObserveNode(0, -1, 0, 5, 0.1)
+	c.ObserveNode(1, 0, 0, 5, 0.2)
+	c.ObserveNode(2, 1, 1, 7, 0.3)
+	c.ObserveNode(3, 2, 0, 2, 4.5)
+	c.ObserveForward(0, 1, 0, 0, 3000, 3, 0.5e-3)
+	c.ObserveForward(1, 0, 1, 1, 500, 1, 0)
+	c.ObserveForward(1, 1, 2, 0, 800, 2, 0)
+}
+
+func TestToProfileIntoMatchesToProfile(t *testing.T) {
+	c := sizedCollector()
+	observeSome(c)
+	want := c.ToProfile()
+	got := c.ToProfileInto(nil)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("ToProfileInto(nil) = %+v, ToProfile = %+v", got, want)
+	}
+	// Reuse after new observations must fully overwrite the old contents,
+	// including stale link entries.
+	c.ObserveNode(1, 0, 0, 100, 1.0)
+	got = c.ToProfileInto(got)
+	want = c.ToProfile()
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("reused ToProfileInto = %+v, ToProfile = %+v", got, want)
+	}
+}
+
+func TestToProfileIntoSteadyStateAllocFree(t *testing.T) {
+	c := sizedCollector()
+	observeSome(c)
+	s := c.ToProfileInto(nil)
+	allocs := testing.AllocsPerRun(100, func() {
+		s = c.ToProfileInto(s)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state ToProfileInto allocates %.1f per call", allocs)
+	}
+	var nil2 *Collector
+	if nil2.ToProfileInto(s) != nil {
+		t.Fatal("nil collector should export a nil profile")
+	}
+}
+
+func TestNodePacketTotalsAndEngineTrafficVector(t *testing.T) {
+	c := sizedCollector()
+	observeSome(c)
+	nodes := c.NodePacketTotals(nil)
+	if want := []int64{5, 5, 7, 2}; !reflect.DeepEqual(nodes, want) {
+		t.Fatalf("NodePacketTotals = %v, want %v", nodes, want)
+	}
+	// Row 0 exchanged 3000 with engine 1 (outbound) plus 500 inbound from
+	// engine 1; intra-engine volume is the diagonal only.
+	row0 := c.EngineTrafficVector(0, nil)
+	if want := []int64{0, 3500}; !reflect.DeepEqual(row0, want) {
+		t.Fatalf("EngineTrafficVector(0) = %v, want %v", row0, want)
+	}
+	row1 := c.EngineTrafficVector(1, nil)
+	if want := []int64{3500, 800}; !reflect.DeepEqual(row1, want) {
+		t.Fatalf("EngineTrafficVector(1) = %v, want %v", row1, want)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		nodes = c.NodePacketTotals(nodes)
+		row0 = c.EngineTrafficVector(0, row0)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state accessors allocate %.1f per call", allocs)
+	}
+	if got := c.EngineTrafficVector(5, row0); len(got) != 0 {
+		t.Fatalf("out-of-range engine returned %v", got)
+	}
+}

@@ -644,3 +644,70 @@ func (c *Collector) ToProfile() *netflow.Summary {
 	}
 	return s
 }
+
+// ToProfileInto is the storage-reusing form of ToProfile for the dynamic
+// remapping loop, which re-exports the measured profile at every interval
+// boundary: passing the previous interval's summary back in reuses its node
+// slice, series rows and link map, so a steady-state remap loop allocates
+// nothing here. Pass nil for the first interval. The returned summary is
+// valid until the next call with the same argument.
+func (c *Collector) ToProfileInto(s *netflow.Summary) *netflow.Summary {
+	if c == nil {
+		return nil
+	}
+	if s == nil {
+		s = &netflow.Summary{}
+	}
+	if s.LinkPackets == nil {
+		s.LinkPackets = make(map[int]int64, c.dims.Links)
+	} else {
+		for l := range s.LinkPackets {
+			delete(s.LinkPackets, l)
+		}
+	}
+	s.NodePackets = append(s.NodePackets[:0], c.nodePackets...)
+	s.NodeSeries = c.series.CloneInto(s.NodeSeries)
+	for l := 0; l < c.dims.Links; l++ {
+		if p := c.linkRxPackets[2*l] + c.linkRxPackets[2*l+1]; p > 0 {
+			s.LinkPackets[l] = p
+		}
+	}
+	return s
+}
+
+// NodePacketTotals copies the measured per-node packet loads into dst
+// (grown only if too small) and returns it — the per-node load vector of
+// the game payoff's computational term, read from the hot array without a
+// snapshot allocation. Valid at window barriers and after the run, like
+// ToProfile.
+func (c *Collector) NodePacketTotals(dst []int64) []int64 {
+	if c == nil {
+		return dst[:0]
+	}
+	return append(dst[:0], c.nodePackets...)
+}
+
+// EngineTrafficVector fills dst with the bytes engine `engine` exchanged
+// with every engine (both directions summed; dst[engine] is its intra-engine
+// volume) and returns it, growing dst only if too small — the per-engine
+// traffic vector a payoff evaluation reads without allocating. Valid at
+// window barriers and after the run, like ToProfile.
+func (c *Collector) EngineTrafficVector(engine int, dst []int64) []int64 {
+	if c == nil || engine < 0 || engine >= c.dims.Engines {
+		return dst[:0]
+	}
+	k := c.dims.Engines
+	if cap(dst) < k {
+		dst = make([]int64, k)
+	} else {
+		dst = dst[:k]
+	}
+	for e := 0; e < k; e++ {
+		v := c.matrixBytes[engine*k+e]
+		if e != engine {
+			v += c.matrixBytes[e*k+engine]
+		}
+		dst[e] = v
+	}
+	return dst
+}

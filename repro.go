@@ -356,9 +356,63 @@ const (
 	TCPSlowStart = emu.TCPSlowStart
 )
 
-// DynamicResult reports a dynamically remapped emulation (Scenario.RunDynamic,
-// the paper's §6 future work).
-type DynamicResult = core.DynamicResult
+// Dynamic remapping (Scenario.RunDynamic, the paper's §6 future work).
+type (
+	// DynamicResult reports a dynamically remapped emulation.
+	DynamicResult = core.DynamicResult
+	// DynamicSegment is one interval of a dynamically remapped run.
+	DynamicSegment = core.DynamicSegment
+	// RemapPolicy selects how each interval's telemetry becomes the next
+	// assignment (Scenario.Remap).
+	RemapPolicy = core.RemapPolicy
+	// RemapStats reports the remapping step that produced a segment's
+	// assignment, including the game policy's convergence profile.
+	RemapStats = core.RemapStats
+)
+
+// The dynamic remap policies.
+const (
+	// RemapProfile re-runs PROFILE from scratch each interval.
+	RemapProfile = core.RemapProfile
+	// RemapIncremental refines the previous assignment with ProfileImprove.
+	RemapIncremental = core.RemapIncremental
+	// RemapGame runs game-theoretic best-response dynamics to a Nash fixed
+	// point (DESIGN.md §16).
+	RemapGame = core.RemapGame
+	// RemapDiffusion is the traffic-blind greedy-halving baseline.
+	RemapDiffusion = core.RemapDiffusion
+)
+
+// RemapPolicies returns every policy in the experiment table's order.
+func RemapPolicies() []RemapPolicy { return core.RemapPolicies() }
+
+// ParseRemapPolicy parses "profile" | "incremental" | "game" | "diffusion" —
+// the cmd/massf -remap-policy flag values.
+func ParseRemapPolicy(s string) (RemapPolicy, error) { return core.ParseRemapPolicy(s) }
+
+// Game-theoretic iterative repartitioning (the RemapGame policy's engine).
+type (
+	// GameOptions tunes the best-response dynamics: payoff weights,
+	// migration cost, round cap, tie-break seed.
+	GameOptions = partition.GameOptions
+	// GameStats reports a game run's convergence: rounds, moves evaluated
+	// and taken, and the per-round potential trajectory.
+	GameStats = partition.GameStats
+)
+
+// GameImprove runs selfish best-response dynamics on an existing assignment,
+// returning the number of vertices that changed parts and the convergence
+// stats. The game is an exact potential game, so the recorded payoff
+// trajectory is non-increasing and the dynamics terminate.
+func GameImprove(g *Graph, part []int, k int, opts GameOptions) (int, *GameStats, error) {
+	return partition.GameImprove(g, part, k, opts)
+}
+
+// NormalizedMigrationCost converts a migration stall (virtual seconds) into
+// game-payoff units by expressing it as a fraction of the remap interval.
+func NormalizedMigrationCost(stall, interval float64) float64 {
+	return emu.NormalizedMigrationCost(stall, interval)
+}
 
 // Baseline (traffic-blind) mapping strategies from the paper's §5 discussion.
 const (
